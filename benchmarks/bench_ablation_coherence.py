@@ -1,0 +1,112 @@
+"""Experiment A2 — ablation: snoopy protocol choice (MSI vs MESI).
+
+Section 4.1 notes the caches "provide a snoopy bus protocol.  However,
+other strategies ... can be added with relative ease."  This ablation
+compares the two implemented protocols on the sharing patterns that
+separate them:
+
+* *private data* (read-then-write, no sharing) — MESI's EXCLUSIVE state
+  eliminates the upgrade transaction MSI pays for every first write;
+* *producer/consumer* and *migratory* sharing — both protocols pay
+  coherence traffic; the gap narrows.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Workbench, smp_node
+from repro.analysis import format_table
+from repro.core.results import ExperimentRecord
+from repro.operations import MemType, load, store
+
+
+def private_pattern(cpu: int, lines: int = 64, reps: int = 4) -> list:
+    """Each CPU reads then writes its own region (no sharing)."""
+    base = 0x100000 * (cpu + 1)
+    ops = []
+    for _ in range(reps):
+        for i in range(lines):
+            a = base + i * 32
+            ops.append(load(MemType.INT64, a))
+            ops.append(store(MemType.INT64, a))
+    return ops
+
+
+def producer_consumer_pattern(cpu: int, lines: int = 64,
+                              reps: int = 4) -> list:
+    """CPU 0 writes a shared buffer, the others read it, repeatedly."""
+    base = 0x200000
+    ops = []
+    for _ in range(reps):
+        for i in range(lines):
+            a = base + i * 32
+            ops.append(store(MemType.INT64, a) if cpu == 0
+                       else load(MemType.INT64, a))
+    return ops
+
+
+def migratory_pattern(cpu: int, lines: int = 16, reps: int = 8) -> list:
+    """Every CPU read-modify-writes the same lines (lock-like)."""
+    base = 0x300000
+    ops = []
+    for _ in range(reps):
+        for i in range(lines):
+            a = base + i * 32
+            ops.append(load(MemType.INT64, a))
+            ops.append(store(MemType.INT64, a))
+    return ops
+
+
+PATTERNS = [("private", private_pattern),
+            ("producer_consumer", producer_consumer_pattern),
+            ("migratory", migratory_pattern)]
+
+
+def run_matrix(n_cpus: int = 4) -> list[dict]:
+    rows = []
+    for pattern_name, pattern in PATTERNS:
+        for protocol in ("msi", "mesi"):
+            wb = Workbench(smp_node(n_cpus, coherence=protocol))
+            res = wb.run_smp([pattern(c) for c in range(n_cpus)])
+            coh = res.coherence_summary
+            rows.append({
+                "pattern": pattern_name,
+                "protocol": protocol,
+                "cycles": res.total_cycles,
+                "bus_transactions": coh["transactions"],
+                "upgrades": coh["bus_upgr"],
+                "invalidations": coh["invalidations"],
+                "cache_to_cache": coh["cache_to_cache"],
+            })
+    return rows
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_msi_vs_mesi(benchmark, emit):
+    rows = benchmark.pedantic(run_matrix, rounds=1, iterations=1)
+    record = ExperimentRecord(
+        "A2", "ablation: MSI vs MESI bus traffic by sharing pattern "
+        "(4-CPU SMP node)")
+    record.add_rows(rows)
+    emit("A2_coherence", format_table(
+        rows, title="MSI vs MESI on a 4-CPU SMP node:"), record)
+
+    by = {(r["pattern"], r["protocol"]): r for r in rows}
+    # Private data: MESI eliminates the write-upgrade traffic entirely.
+    assert by[("private", "mesi")]["upgrades"] == 0
+    assert by[("private", "msi")]["upgrades"] > 0
+    assert by[("private", "mesi")]["bus_transactions"] < \
+        by[("private", "msi")]["bus_transactions"]
+    assert by[("private", "mesi")]["cycles"] <= \
+        by[("private", "msi")]["cycles"]
+    # Producer/consumer: E never helps (the producer always finds the
+    # consumers' copies), so the protocols behave identically.
+    assert by[("producer_consumer", "msi")]["cycles"] == \
+        by[("producer_consumer", "mesi")]["cycles"]
+    # Migratory sharing thrashes under both protocols; the absolute
+    # numbers are phase-sensitive (reported, not asserted), but both
+    # must show real sharing traffic.
+    for protocol in ("msi", "mesi"):
+        assert by[("migratory", protocol)]["invalidations"] > 0
+        assert by[("migratory", protocol)]["cache_to_cache"] > 0

@@ -1,0 +1,106 @@
+"""Experiment F2 — Figure 2: the hybrid model split.
+
+Figure 2 shows the computational model deriving computational tasks
+(simulated time between communication operations) that, together with
+the communication operations, drive the communication model.  This
+bench regenerates the figure's *behavioural* content:
+
+1. consistency — the tasks fed into the network are exactly the cycles
+   the node models charged (the two models agree);
+2. the accuracy/cost trade — running the same workload comm-only with
+   approximated task durations is much cheaper on the host but loses
+   the cache/contention detail (predicted time diverges).
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro import Workbench, generic_multicomputer
+from repro.analysis import format_table
+from repro.apps import ThreadedApplication, make_jacobi
+from repro.core.results import ExperimentRecord
+from repro.operations import OpCode, compute
+from repro.operations.trace import Trace, TraceSet
+
+
+def run_experiment() -> dict:
+    machine = generic_multicomputer("mesh", (2, 2))
+    wb = Workbench(machine)
+    program = make_jacobi(grid=24, iterations=4)
+
+    # --- accurate path: full hybrid (Fig 2, both models) -------------
+    t0 = time.perf_counter()
+    hybrid = wb.run_hybrid(program)
+    hybrid_host = time.perf_counter() - t0
+
+    # --- fast path: comm-only with mean-task approximation -----------
+    # Replace every per-phase task duration by the global mean task
+    # (what a fast-prototyping user would guess), keeping the comm ops.
+    mean_task = (sum(t.total_task_cycles for t in hybrid.task_stats)
+                 / max(sum(t.tasks_emitted for t in hybrid.task_stats), 1))
+    recorded = ThreadedApplication(program, wb.n_nodes).record()
+    approx_traces = []
+    for tr in recorded:
+        ops = []
+        pending_comp = False
+        for op in tr:
+            if op.code in (OpCode.SEND, OpCode.RECV, OpCode.ASEND,
+                           OpCode.ARECV):
+                if pending_comp:
+                    ops.append(compute(mean_task))
+                    pending_comp = False
+                ops.append(op)
+            else:
+                pending_comp = True
+        if pending_comp:
+            ops.append(compute(mean_task))
+        approx_traces.append(Trace(tr.node, ops))
+    t0 = time.perf_counter()
+    comm_only = wb.run_comm_only(TraceSet(approx_traces))
+    comm_host = time.perf_counter() - t0
+
+    return {
+        "hybrid_cycles": hybrid.total_cycles,
+        "comm_only_cycles": comm_only.total_cycles,
+        "hybrid_host_s": hybrid_host,
+        "comm_only_host_s": comm_host,
+        "task_consistency": [
+            (hybrid.comm.activity[i].compute_cycles,
+             hybrid.task_stats[i].total_task_cycles)
+            for i in range(wb.n_nodes)],
+        "mean_task": mean_task,
+    }
+
+
+@pytest.mark.benchmark(group="fig2")
+def test_fig2_hybrid_model(benchmark, emit):
+    data = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    err = abs(data["comm_only_cycles"] - data["hybrid_cycles"]) \
+        / data["hybrid_cycles"]
+    speedup = data["hybrid_host_s"] / max(data["comm_only_host_s"], 1e-9)
+    rows = [
+        {"mode": "hybrid (Fig 2, both models)",
+         "predicted_cycles": data["hybrid_cycles"],
+         "host_seconds": data["hybrid_host_s"]},
+        {"mode": "comm-only (mean-task approx.)",
+         "predicted_cycles": data["comm_only_cycles"],
+         "host_seconds": data["comm_only_host_s"]},
+    ]
+    record = ExperimentRecord(
+        "F2", "Fig 2: hybrid computational+communication co-simulation vs "
+        "comm-only fast prototyping", parameters={
+            "prediction_divergence": err, "host_speedup": speedup})
+    record.add_rows(rows)
+    text = (format_table(rows, title="Jacobi 24x24x4 on generic 2x2 mesh:")
+            + f"\n\ncomm-only host speedup: {speedup:.1f}x; prediction "
+            f"divergence from accurate mode: {err:.2%}")
+    emit("F2_hybrid_model", text, record)
+
+    # Consistency: the network consumed exactly the node models' cycles.
+    for compute_cycles, task_cycles in data["task_consistency"]:
+        assert compute_cycles == pytest.approx(task_cycles)
+    # The fast path must actually be faster on the host.
+    assert speedup > 2

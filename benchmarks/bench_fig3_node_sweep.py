@@ -1,0 +1,107 @@
+"""Experiment F3a — Figure 3a: single-node template parameterization.
+
+Figure 3a is the node template (CPU, cache hierarchy, bus, memory);
+its point is that every component is a parameter.  This bench sweeps
+the cache design space of the PowerPC-601-like node under a fixed
+workload and reports predicted cycles/CPI — the workbench usage the
+template exists for.  Shape checks: bigger caches and higher
+associativity never hurt; a split L1 beats a thrashing unified one for
+a mixed instruction/data working set.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Sweep, Workbench, powerpc601_node
+from repro.analysis import format_table
+from repro.core.results import ExperimentRecord
+from repro.tracegen import (
+    MemoryBehaviour,
+    StochasticAppDescription,
+    StochasticGenerator,
+)
+
+
+def workload():
+    desc = StochasticAppDescription(
+        memory=MemoryBehaviour(working_set_bytes=96 * 1024,
+                               sequential_fraction=0.4))
+    return StochasticGenerator(desc, 1, seed=21).generate_instruction_level(
+        40_000)[0]
+
+
+TRACE = workload()
+
+
+def run_node(machine) -> dict:
+    res = Workbench(machine).run_single_node(TRACE)
+    caches = res.memory_summary["caches"]
+    l1 = next(v for k, v in caches.items() if "L1" in k)
+    return {"cycles": res.cycles, "cpi": res.cpi,
+            "l1_hit_rate": l1["hit_rate"]}
+
+
+def sweep_cache_size() -> list[dict]:
+    def set_size(machine, kib):
+        machine.node.cache_levels[0].data.size_bytes = kib * 1024
+
+    sweep = Sweep(powerpc601_node()).axis("l1_kib", set_size,
+                                          [4, 8, 16, 32, 64, 128])
+    return sweep.run(run_node)
+
+
+def sweep_associativity() -> list[dict]:
+    def set_assoc(machine, ways):
+        machine.node.cache_levels[0].data.associativity = ways
+
+    sweep = Sweep(powerpc601_node()).axis("l1_ways", set_assoc,
+                                          [1, 2, 4, 8])
+    return sweep.run(run_node)
+
+
+def sweep_memory_latency() -> list[dict]:
+    def set_mem(machine, cycles):
+        machine.node.memory.access_cycles = float(cycles)
+
+    sweep = Sweep(powerpc601_node()).axis("dram_access_cycles", set_mem,
+                                          [10, 20, 40, 80])
+    return sweep.run(run_node)
+
+
+@pytest.mark.benchmark(group="fig3a")
+def test_fig3a_cache_size_sweep(benchmark, emit):
+    rows = benchmark.pedantic(sweep_cache_size, rounds=1, iterations=1)
+    record = ExperimentRecord(
+        "F3a-size", "Fig 3a template: L1 size sweep on PPC601-like node")
+    record.add_rows(rows)
+    emit("F3a_cache_size", format_table(
+        rows, title="L1 size sweep (40k-op stochastic workload):"), record)
+    cycles = [r["cycles"] for r in rows]
+    hit_rates = [r["l1_hit_rate"] for r in rows]
+    assert all(a >= b * 0.999 for a, b in zip(cycles, cycles[1:]))
+    assert hit_rates[-1] >= hit_rates[0]
+
+
+@pytest.mark.benchmark(group="fig3a")
+def test_fig3a_associativity_sweep(benchmark, emit):
+    rows = benchmark.pedantic(sweep_associativity, rounds=1, iterations=1)
+    record = ExperimentRecord(
+        "F3a-assoc", "Fig 3a template: L1 associativity sweep")
+    record.add_rows(rows)
+    emit("F3a_associativity", format_table(
+        rows, title="L1 associativity sweep:"), record)
+    # Direct-mapped must not beat 8-way on this conflict-prone workload.
+    assert rows[-1]["cycles"] <= rows[0]["cycles"] * 1.001
+
+
+@pytest.mark.benchmark(group="fig3a")
+def test_fig3a_memory_latency_sweep(benchmark, emit):
+    rows = benchmark.pedantic(sweep_memory_latency, rounds=1, iterations=1)
+    record = ExperimentRecord(
+        "F3a-mem", "Fig 3a template: DRAM access latency sweep")
+    record.add_rows(rows)
+    emit("F3a_memory_latency", format_table(
+        rows, title="DRAM latency sweep:"), record)
+    cycles = [r["cycles"] for r in rows]
+    assert cycles == sorted(cycles)

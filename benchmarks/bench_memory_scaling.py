@@ -1,0 +1,114 @@
+"""Experiment S6c — Section 6: simulator memory usage.
+
+Paper: "Since Mermaid does not interpret machine instructions, it is not
+necessary to store large quantities of state information during
+simulation runs.  For example, the contents of the memory does not have
+to be modelled and simulated caches only need to hold addresses (tags),
+not data.  As a consequence, the simulation of parallel platforms is
+only constrained by the memory consumption of the (threaded)
+trace-generating applications."
+
+Two sweeps regenerate that claim:
+
+1. simulator heap vs *simulated working-set size* — flat (tags only;
+   the simulated data is never stored);
+2. simulator heap vs *node count* — grows only with the number of node
+   models / trace threads, not with the memory they simulate.
+"""
+
+from __future__ import annotations
+
+import gc
+import tracemalloc
+
+import pytest
+
+from repro import Workbench, t805_grid
+from repro.analysis import format_table
+from repro.apps import alltoall_task_traces
+from repro.core.results import ExperimentRecord
+from repro.machines import powerpc601_node
+from repro.tracegen import (
+    MemoryBehaviour,
+    StochasticAppDescription,
+    StochasticGenerator,
+)
+
+
+def heap_during(fn) -> tuple[float, object]:
+    """Peak traced heap (MiB) while running ``fn``."""
+    gc.collect()
+    tracemalloc.start()
+    result = fn()
+    _, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    return peak / (1 << 20), result
+
+
+def sweep_working_set() -> list[dict]:
+    """Same trace length, working sets from 256 KiB to 256 MiB."""
+    rows = []
+    machine = powerpc601_node()
+    for ws_mib in (0.25, 4, 64, 256):
+        desc = StochasticAppDescription(
+            memory=MemoryBehaviour(working_set_bytes=int(ws_mib * (1 << 20))))
+        gen = StochasticGenerator(desc, 1, seed=1)
+        trace = gen.generate_instruction_level(30_000)[0]
+
+        def run(trace=trace):
+            return Workbench(machine).run_single_node(trace)
+
+        peak, _ = heap_during(run)
+        rows.append({"simulated_working_set_mib": ws_mib,
+                     "simulator_peak_heap_mib": peak})
+    return rows
+
+
+def sweep_nodes() -> list[dict]:
+    """Fixed per-node traffic (pairwise exchange rounds), 4 to 64 nodes."""
+    rows = []
+    for side in (2, 4, 8):
+        machine = t805_grid(side, side)
+        n = machine.n_nodes
+        desc = StochasticAppDescription(mean_task_cycles=10_000.0)
+        traces = StochasticGenerator(desc, n, seed=2).generate_task_level(10)
+
+        def run(machine=machine, traces=traces):
+            return Workbench(machine).run_comm_only(traces)
+
+        peak, _ = heap_during(run)
+        rows.append({"nodes": n, "simulator_peak_heap_mib": peak})
+    return rows
+
+
+@pytest.mark.benchmark(group="memory")
+def test_memory_flat_in_simulated_working_set(benchmark, emit):
+    rows = benchmark.pedantic(sweep_working_set, rounds=1, iterations=1)
+    record = ExperimentRecord(
+        "S6c-ws", "simulator heap vs simulated working set (claim: flat — "
+        "caches hold tags, memory contents never modelled)")
+    record.add_rows(rows)
+    text = format_table(rows, title="heap vs simulated working set:")
+    first, last = rows[0], rows[-1]
+    ratio = (last["simulator_peak_heap_mib"]
+             / max(first["simulator_peak_heap_mib"], 1e-9))
+    text += (f"\n\nheap ratio across a {256 / 0.25:.0f}x working-set "
+             f"increase: {ratio:.2f}x (claim: ~1x)")
+    emit("S6c_memory_working_set", text, record)
+    # A 1024x larger simulated memory must not noticeably grow the heap.
+    assert ratio < 1.5
+
+
+@pytest.mark.benchmark(group="memory")
+def test_memory_scales_with_nodes_only(benchmark, emit):
+    rows = benchmark.pedantic(sweep_nodes, rounds=1, iterations=1)
+    record = ExperimentRecord(
+        "S6c-nodes", "simulator heap vs node count (claim: bounded by the "
+        "per-node models/trace state, not simulated memory)")
+    record.add_rows(rows)
+    text = format_table(rows, title="heap vs node count:")
+    emit("S6c_memory_nodes", text, record)
+    heaps = [r["simulator_peak_heap_mib"] for r in rows]
+    nodes = [r["nodes"] for r in rows]
+    # Sub-linear-or-linear growth: 16x nodes => well under 64x heap.
+    assert heaps[-1] / max(heaps[0], 1e-9) < 4 * nodes[-1] / nodes[0]

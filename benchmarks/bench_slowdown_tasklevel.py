@@ -1,0 +1,126 @@
+"""Experiment S6b — Section 6: task-level (fast-prototyping) slowdown.
+
+Paper: "simulation at this level of abstraction results in a typical
+slowdown of between 0.5 and 4 per processor.  This means that an entire
+multicomputer can be simulated with only a minor slowdown."  The
+defining shape: task-level mode is ~3 orders of magnitude cheaper than
+the detailed mode of S6a, and its slowdown depends on the amount of
+communication in the workload ("computation can be simulated extremely
+fast ... whereas communication is simulated in more detail").
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Workbench, t805_grid
+from repro.analysis import SlowdownMeter, format_table, geometric_mean
+from repro.apps import alltoall_task_traces, pipeline_task_traces
+from repro.core.results import ExperimentRecord
+from repro.tracegen import (
+    CommunicationBehaviour,
+    StochasticAppDescription,
+    StochasticGenerator,
+)
+
+HOST_CLOCK_HZ = 2.0e9
+
+
+def task_level_mix() -> SlowdownMeter:
+    meter = SlowdownMeter(host_clock_hz=HOST_CLOCK_HZ)
+    machine = t805_grid(4, 4)
+    n = machine.n_nodes
+
+    def stochastic(label, mean_task, rounds):
+        desc = StochasticAppDescription(
+            mean_task_cycles=mean_task,
+            comm=CommunicationBehaviour(min_message_bytes=256,
+                                        max_message_bytes=4096))
+        gen = StochasticGenerator(desc, n, seed=11)
+        traces = gen.generate_task_level(rounds)
+        wb = Workbench(machine)
+        meter.measure(label, n, lambda: wb.run_comm_only(traces))
+
+    # Computation-heavy: long tasks between exchanges.
+    stochastic("compute-heavy (200k cyc/task) @ t805-4x4", 200_000.0, 40)
+    # Communication-heavy: short tasks.
+    stochastic("comm-heavy (2k cyc/task) @ t805-4x4", 2_000.0, 40)
+    wb = Workbench(machine)
+    meter.measure(
+        "alltoall task traces @ t805-4x4", n,
+        lambda: wb.run_comm_only(
+            alltoall_task_traces(n, block_bytes=1024, rounds=4,
+                                 compute_cycles=50_000.0)))
+    meter.measure(
+        "pipeline task traces @ t805-4x4", n,
+        lambda: wb.run_comm_only(
+            pipeline_task_traces(n, items=16, item_bytes=2048,
+                                 stage_cycles=100_000.0)))
+    return meter
+
+
+@pytest.mark.benchmark(group="slowdown-task")
+def test_task_level_slowdown(benchmark, emit):
+    meter = benchmark.pedantic(task_level_mix, rounds=1, iterations=1)
+    lo = min(m.slowdown_per_processor for m in meter.measurements)
+    hi = max(m.slowdown_per_processor for m in meter.measurements)
+    gm = geometric_mean([m.slowdown_per_processor
+                         for m in meter.measurements])
+    record = ExperimentRecord(
+        "S6b", "Section 6 task-level slowdown (paper: 0.5-4/proc)",
+        parameters={"host_clock_hz": HOST_CLOCK_HZ,
+                    "paper_range": [0.5, 4]})
+    record.add_rows([m.summary() for m in meter.measurements])
+    record.add_row(measured_range=[lo, hi], geometric_mean=gm)
+    text = (meter.format()
+            + f"\n\nmeasured slowdown/processor range: {lo:.2f} .. {hi:.2f}"
+            + f" (geo-mean {gm:.2f}); paper reported 0.5 .. 4")
+    emit("S6b_slowdown_tasklevel", text, record)
+    comp_heavy = meter.measurements[0].slowdown_per_processor
+    comm_heavy = meter.measurements[1].slowdown_per_processor
+    # Shape: slowdown grows with communication share of the workload.
+    assert comm_heavy > comp_heavy
+
+
+@pytest.mark.benchmark(group="slowdown-task")
+def test_mode_ratio_vs_detailed(benchmark, emit):
+    """The headline contrast: detailed mode vs task level, same machine,
+    comparable workloads — expect >= 2 orders of magnitude."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    meter = SlowdownMeter(host_clock_hz=HOST_CLOCK_HZ)
+    machine = t805_grid(2, 2)
+    n = machine.n_nodes
+    desc = StochasticAppDescription(mean_task_cycles=50_000.0)
+    gen = StochasticGenerator(desc, n, seed=5)
+    instr_traces = gen.generate_instruction_level(40_000)
+    task_traces = StochasticGenerator(desc, n, seed=5).generate_task_level(20)
+
+    wb = Workbench(machine)
+    detailed = meter.measure("detailed (instruction level)", n,
+                             lambda: wb.run_mixed_traces(instr_traces))
+    task = meter.measure("fast prototyping (task level)", n,
+                         lambda: wb.run_comm_only(task_traces))
+    ratio = (detailed.slowdown_per_processor
+             / max(task.slowdown_per_processor, 1e-12))
+    record = ExperimentRecord(
+        "S6ab", "detailed vs task-level slowdown ratio "
+        "(paper: ~187x-8000x from the two reported ranges)")
+    record.add_rows([m.summary() for m in meter.measurements])
+    record.add_row(ratio=ratio)
+    emit("S6ab_mode_ratio",
+         meter.format() + f"\n\ndetailed/task-level slowdown ratio: "
+         f"{ratio:.0f}x (paper's ranges imply ~190x..8000x)", record)
+    assert ratio > 50
+
+
+@pytest.mark.benchmark(group="slowdown-task")
+def test_task_level_host_cost(benchmark):
+    machine = t805_grid(4, 4)
+    traces = alltoall_task_traces(machine.n_nodes, block_bytes=1024,
+                                  rounds=2, compute_cycles=50_000.0)
+
+    def run():
+        return Workbench(machine).run_comm_only(traces).total_cycles
+
+    cycles = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert cycles > 0

@@ -1,0 +1,123 @@
+"""Experiment T1 — Table 1: the operation set.
+
+Regenerates the paper's Table 1 by driving every computational and
+communication operation through the models that consume it, reporting
+the measured cost of each on the PowerPC-601-like node (computational
+operations) and the generic multicomputer (communication operations).
+The pytest-benchmark case times raw operation-execution throughput,
+the Section-6 cost driver of detailed mode.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Workbench, generic_multicomputer, powerpc601_node
+from repro.analysis import format_table
+from repro.compmodel import SingleNodeModel
+from repro.core.results import ExperimentRecord
+from repro.operations import (
+    ArithType,
+    MemType,
+    add,
+    arecv,
+    asend,
+    branch,
+    call,
+    compute,
+    div,
+    ifetch,
+    load,
+    load_const,
+    mul,
+    recv,
+    ret,
+    send,
+    store,
+    sub,
+)
+
+COMPUTATIONAL_ROWS = [
+    ("load(mem-type, address)", load(MemType.FLOAT64, 0x1000),
+     "accessing memory"),
+    ("store(mem-type, address)", store(MemType.FLOAT64, 0x1008),
+     "accessing memory"),
+    ("load([f]constant)", load_const(MemType.FLOAT64),
+     "accessing memory"),
+    ("add(type)", add(ArithType.DOUBLE), "performing arithmetic"),
+    ("sub(type)", sub(ArithType.DOUBLE), "performing arithmetic"),
+    ("mul(type)", mul(ArithType.DOUBLE), "performing arithmetic"),
+    ("div(type)", div(ArithType.DOUBLE), "performing arithmetic"),
+    ("ifetch(address)", ifetch(0x400000), "instruction fetching"),
+    ("branch(address)", branch(0x400040), "instruction fetching"),
+    ("call(address)", call(0x400100), "instruction fetching"),
+    ("ret(address)", ret(0x400104), "instruction fetching"),
+]
+
+COMMUNICATION_ROWS = [
+    ("send(message-size, destination)", [send(1024, 1)], [recv(0)],
+     "synchronous communication"),
+    ("recv(source)", [send(1024, 1)], [recv(0)],
+     "synchronous communication"),
+    ("asend(message-size, destination)", [asend(1024, 1)], [arecv(0)],
+     "asynchronous communication"),
+    ("arecv(source)", [asend(1024, 1)], [arecv(0)],
+     "asynchronous communication"),
+    ("compute(duration)", [compute(500.0)], [],
+     "computation"),
+]
+
+
+def measure_computational() -> list[dict]:
+    rows = []
+    for name, op, category in COMPUTATIONAL_ROWS:
+        node = SingleNodeModel(powerpc601_node().node)
+        # Cold then warm: report the steady-state (warm) cost.
+        node.op_cycles(op)
+        cost = node.op_cycles(op)
+        rows.append({"operation": name, "category": category,
+                     "warm_cycles": cost})
+    return rows
+
+
+def measure_communication() -> list[dict]:
+    rows = []
+    for name, ops0, ops1, category in COMMUNICATION_ROWS:
+        wb = Workbench(generic_multicomputer("mesh", (2, 2)))
+        res = wb.run_comm_only([list(ops0), list(ops1), [], []])
+        rows.append({"operation": name, "category": category,
+                     "simulated_cycles": res.total_cycles})
+    return rows
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_reproduction(benchmark, emit):
+    comp = benchmark.pedantic(measure_computational, rounds=1, iterations=1)
+    comm = measure_communication()
+    record = ExperimentRecord(
+        "T1", "Table 1: the operation set, all 16 operations exercised")
+    record.add_rows(comp)
+    record.add_rows(comm)
+    text = (format_table(comp, title="Computational operations "
+                         "(PowerPC601 node, warm caches):")
+            + "\n\n"
+            + format_table(comm, title="Communication operations "
+                           "(generic multicomputer):"))
+    emit("T1_table1", text, record)
+    assert len(comp) + len(comm) == 16
+    assert all(r["warm_cycles"] > 0 for r in comp)
+
+
+@pytest.mark.benchmark(group="table1")
+def test_operation_execution_throughput(benchmark):
+    """Raw detailed-mode op execution rate (ops/second on the host)."""
+    ops = [ifetch(0x400000 + (i % 64) * 4) if i % 2 == 0
+           else load(MemType.FLOAT64, 0x1000 + (i % 512) * 8)
+           for i in range(10_000)]
+
+    def run():
+        node = SingleNodeModel(powerpc601_node().node)
+        return node.run_trace(ops).cycles
+
+    cycles = benchmark(run)
+    assert cycles > 0

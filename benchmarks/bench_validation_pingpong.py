@@ -1,0 +1,94 @@
+"""Experiment V1 — validation-style: ping-pong latency vs message size.
+
+The companion report's validation methodology: measure point-to-point
+latency over message size and check the affine model T(n) = alpha +
+beta*n that characterizes real message-passing machines.  Regenerated
+here per switching strategy at one hop and at the network diameter;
+the fitted beta (cycles/byte) must recover the configured link
+bandwidth, and the multi-hop alpha must grow with hop count while the
+pipelined strategies keep beta hop-independent.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import Workbench, generic_multicomputer
+from repro.analysis import format_table
+from repro.apps import pingpong_task_traces
+from repro.core.results import ExperimentRecord
+
+SIZES = (8, 64, 512, 4096, 32768)
+
+
+def latency_series(switching: str, hops: int) -> dict[int, float]:
+    series = {}
+    for size in SIZES:
+        machine = generic_multicomputer("mesh", (hops + 1, 1),
+                                        switching=switching)
+        # Single-packet regime keeps the affine model exact.
+        machine.network.packet_bytes = max(SIZES) + 1
+        wb = Workbench(machine)
+        res = wb.run_comm_only(pingpong_task_traces(
+            machine.n_nodes, size=size, repeats=4, b=hops))
+        series[size] = res.message_latency.mean
+    return series
+
+
+def fit(series: dict[int, float]) -> tuple[float, float]:
+    sizes = np.array(list(series.keys()), dtype=float)
+    lats = np.array(list(series.values()))
+    beta, alpha = np.polyfit(sizes, lats, 1)
+    return float(alpha), float(beta)
+
+
+def run_experiment() -> list[dict]:
+    rows = []
+    for switching in ("store_and_forward", "virtual_cut_through",
+                      "wormhole"):
+        for hops in (1, 4):
+            series = latency_series(switching, hops)
+            alpha, beta = fit(series)
+            row = {"switching": switching, "hops": hops,
+                   "alpha_cycles": alpha, "beta_cyc_per_byte": beta,
+                   "bandwidth_B_per_cyc": 1.0 / beta}
+            for size, lat in series.items():
+                row[f"T({size})"] = lat
+            rows.append(row)
+    return rows
+
+
+@pytest.mark.benchmark(group="validation")
+def test_pingpong_latency_model(benchmark, emit):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    record = ExperimentRecord(
+        "V1", "ping-pong latency vs size: affine fit per switching "
+        "strategy and hop count",
+        parameters={"configured_bandwidth": 4.0, "sizes": list(SIZES)})
+    record.add_rows(rows)
+    emit("V1_pingpong", format_table(
+        rows, title="ping-pong latency model T(n) = alpha + beta*n:"),
+        record)
+
+    by = {(r["switching"], r["hops"]): r for r in rows}
+    # All strategies recover the configured bandwidth (4 B/cyc) at 1 hop.
+    for sw in ("store_and_forward", "virtual_cut_through", "wormhole"):
+        assert by[(sw, 1)]["bandwidth_B_per_cyc"] == pytest.approx(
+            4.0, rel=0.05)
+    # SAF pays bandwidth per hop: beta scales with hops.
+    assert by[("store_and_forward", 4)]["beta_cyc_per_byte"] == \
+        pytest.approx(4 * by[("store_and_forward", 1)]["beta_cyc_per_byte"],
+                      rel=0.05)
+    # Pipelined strategies keep beta hop-independent.
+    for sw in ("virtual_cut_through", "wormhole"):
+        assert by[(sw, 4)]["beta_cyc_per_byte"] == pytest.approx(
+            by[(sw, 1)]["beta_cyc_per_byte"], rel=0.05)
+        # ... while alpha (path setup) grows with distance.
+        assert by[(sw, 4)]["alpha_cycles"] > by[(sw, 1)]["alpha_cycles"]
+    # Latency is affine: interior points sit on the fitted line.
+    for r in rows:
+        for size in SIZES:
+            predicted = r["alpha_cycles"] + r["beta_cyc_per_byte"] * size
+            assert r[f"T({size})"] == pytest.approx(predicted, rel=0.08,
+                                                    abs=30)

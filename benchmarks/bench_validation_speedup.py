@@ -1,0 +1,66 @@
+"""Experiment V2 — validation-style: application speedup curves.
+
+The workbench's end purpose: predict how applications scale.  SPMD
+matmul and Jacobi run on 1..16 nodes of the generic multicomputer; the
+speedup table shows the communication-induced efficiency roll-off the
+paper's introduction motivates, and a small/large problem pair shows
+the comm/comp crossover (small problems stop scaling earlier).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Workbench, generic_multicomputer
+from repro.analysis import format_table, speedup_table
+from repro.apps import make_jacobi, make_matmul
+from repro.core.results import ExperimentRecord
+
+NODE_COUNTS = (1, 2, 4, 8, 16)
+
+
+def machine_for(n: int):
+    return generic_multicomputer("mesh", (n, 1) if n > 1 else (1, 1))
+
+
+def scaling(program_factory) -> dict[int, float]:
+    times = {}
+    for n in NODE_COUNTS:
+        wb = Workbench(machine_for(n))
+        times[n] = wb.run_hybrid(program_factory()).total_cycles
+    return times
+
+
+def run_experiment() -> dict:
+    return {
+        "matmul32": speedup_table(scaling(lambda: make_matmul(n=32))),
+        "jacobi32": speedup_table(
+            scaling(lambda: make_jacobi(grid=32, iterations=3))),
+        "matmul12_small": speedup_table(scaling(lambda: make_matmul(n=12))),
+    }
+
+
+@pytest.mark.benchmark(group="validation")
+def test_application_speedup(benchmark, emit):
+    data = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    record = ExperimentRecord(
+        "V2", "application speedup on 1..16 nodes (generic machine)",
+        parameters={"node_counts": list(NODE_COUNTS)})
+    text_parts = []
+    for label, rows in data.items():
+        record.add_rows([{**r, "workload": label} for r in rows])
+        text_parts.append(format_table(rows, title=f"{label}:"))
+    emit("V2_speedup", "\n\n".join(text_parts), record)
+
+    mm = {r["nodes"]: r for r in data["matmul32"]}
+    jc = {r["nodes"]: r for r in data["jacobi32"]}
+    small = {r["nodes"]: r for r in data["matmul12_small"]}
+
+    # Parallelism helps at all: 16 nodes beat 1 node on the big matmul.
+    assert mm[16]["speedup"] > 4
+    # Efficiency decays with node count (communication share grows).
+    assert mm[16]["efficiency"] < mm[2]["efficiency"]
+    assert jc[16]["efficiency"] < jc[2]["efficiency"]
+    # Comm/comp crossover: the small problem scales worse than the big
+    # one at 16 nodes.
+    assert small[16]["efficiency"] < mm[16]["efficiency"]

@@ -1,0 +1,36 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one artifact of the paper's evaluation
+(a table, a figure, or a Section-6 measurement); the regenerated rows
+are printed and saved as JSON under ``benchmarks/results/`` so
+EXPERIMENTS.md can be refreshed from real runs.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+import pytest
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> str:
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def emit(results_dir):
+    """Print a report block (visible with -s) and persist it."""
+    def _emit(experiment_id: str, text: str, record=None) -> None:
+        banner = f"\n=== {experiment_id} " + "=" * max(60 - len(experiment_id), 0)
+        sys.stdout.write(banner + "\n" + text + "\n")
+        path = os.path.join(results_dir, f"{experiment_id}.txt")
+        with open(path, "w") as fp:
+            fp.write(text + "\n")
+        if record is not None:
+            record.save(os.path.join(results_dir, f"{experiment_id}.json"))
+    return _emit

@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""Design-space exploration — the workbench's reason to exist.
+
+A computer architect's session: given a fixed workload (SPMD matmul),
+sweep the node's L1 cache and the interconnect's topology/switching,
+and read off where the cycles go.  Mirrors the parameterized templates
+of Figure 3 (a: node, b: network).
+
+Run:  python examples/design_space_sweep.py
+"""
+
+from repro import Sweep, Workbench, generic_multicomputer
+from repro.analysis import format_table
+from repro.apps import alltoall_task_traces, make_matmul
+
+
+def node_sweep() -> None:
+    """Fig 3a: how much L1 does this workload want?"""
+    base = generic_multicomputer("mesh", (2, 2))
+    program = make_matmul(n=24)
+
+    def set_l1(machine, kib):
+        machine.node.cache_levels[0].data.size_bytes = kib * 1024
+        machine.node.cache_levels[0].instr.size_bytes = kib * 1024
+
+    def run(machine):
+        res = Workbench(machine).run_hybrid(program)
+        caches = res.node_summaries[0]["memory_system"]["caches"]
+        l1d = next(v for k, v in caches.items() if k.endswith("L1d"))
+        return {"cycles": res.total_cycles,
+                "l1d_hit_rate": l1d["hit_rate"]}
+
+    rows = Sweep(base).axis("l1_kib", set_l1, [2, 4, 8, 16, 32]).run(run)
+    print(format_table(rows, title="L1 size sweep (matmul 24, 2x2 mesh):"))
+    print()
+
+
+def network_sweep() -> None:
+    """Fig 3b: which interconnect for an all-to-all-heavy load?"""
+    rows = []
+    for kind, dims in (("ring", (8,)), ("mesh", (4, 2)),
+                       ("hypercube", (3,))):
+        for switching in ("store_and_forward", "wormhole"):
+            machine = generic_multicomputer(kind, dims,
+                                            switching=switching)
+            traces = alltoall_task_traces(machine.n_nodes,
+                                          block_bytes=2048, rounds=2,
+                                          compute_cycles=5_000.0)
+            res = Workbench(machine).run_comm_only(traces)
+            rows.append({
+                "topology": kind,
+                "switching": switching,
+                "cycles": res.total_cycles,
+                "mean_msg_latency": res.message_latency.mean,
+                "efficiency": res.parallel_efficiency(),
+            })
+    print(format_table(rows, title="8-node interconnect sweep "
+                       "(all-to-all, task level):"))
+    print()
+
+
+def combined_sweep() -> None:
+    """Cross product: both axes at once, through the Sweep helper."""
+    base = generic_multicomputer("mesh", (2, 2))
+    program = make_matmul(n=16)
+
+    def set_bw(machine, bw):
+        machine.network.link_bandwidth = bw
+
+    def set_mem(machine, cycles):
+        machine.node.memory.access_cycles = float(cycles)
+
+    sweep = (Sweep(base, "bw x dram")
+             .axis("link_bw", set_bw, [1.0, 8.0])
+             .axis("dram_cycles", set_mem, [10, 80]))
+    rows = sweep.run(lambda m: {
+        "cycles": Workbench(m).run_hybrid(program).total_cycles})
+    print(format_table(rows, title="link bandwidth x DRAM latency "
+                       "(matmul 16):"))
+
+
+if __name__ == "__main__":
+    node_sweep()
+    network_sweep()
+    combined_sweep()

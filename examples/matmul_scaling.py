@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Application scaling study with a run-time timeline.
+
+Predicts SPMD matmul speedup on 1..16 nodes of a generic wormhole
+multicomputer, then re-runs the 4-node case with a timeline recorder
+attached to the node drivers and renders a text Gantt chart — the
+headless equivalent of Mermaid's run-time visualization.
+
+Run:  python examples/matmul_scaling.py
+"""
+
+from repro import Workbench, generic_multicomputer
+from repro.analysis import (
+    TimelineRecorder,
+    format_table,
+    render_gantt,
+    speedup_table,
+)
+from repro.apps import ThreadedApplication, make_matmul
+from repro.hybrid import HybridModel
+from repro.operations import OpCode
+
+
+def scaling_study(n_matrix: int = 32) -> None:
+    times = {}
+    for n in (1, 2, 4, 8, 16):
+        machine = generic_multicomputer("mesh", (n, 1) if n > 1 else (1, 1))
+        res = Workbench(machine).run_hybrid(make_matmul(n=n_matrix))
+        times[n] = res.total_cycles
+    rows = speedup_table(times)
+    print(format_table(rows, title=f"matmul {n_matrix}x{n_matrix} "
+                       "scaling (generic mesh):"))
+    print()
+
+
+def timeline_view(n_matrix: int = 24) -> None:
+    machine = generic_multicomputer("mesh", (4, 1))
+    model = HybridModel(machine)
+    recorder = TimelineRecorder(model.sim)
+
+    # Wrap each node driver stream so state changes mark the timeline.
+    app = ThreadedApplication(make_matmul(n=n_matrix), 4)
+    streams = app.streams()
+    from repro.compmodel import extract_tasks
+
+    def observed_driver(node_id, stream):
+        entity = f"node{node_id}"
+        task_ops = extract_tasks(model.node_models[node_id], stream)
+        for op in task_ops:
+            if op.code is OpCode.COMPUTE:
+                recorder.mark(entity, "compute")
+            elif op.code in (OpCode.SEND, OpCode.ASEND):
+                recorder.mark(entity, "send")
+            else:
+                recorder.mark(entity, "recv")
+            yield op
+        recorder.mark(entity, "idle")
+
+    try:
+        for i, stream in enumerate(streams):
+            body = model.network.node_driver(
+                i, observed_driver(i, stream),
+                payload_source=lambda s=stream: s.thread.pending_payload,
+                result_sink=stream.post_result)
+            model.sim.process(body, name=f"node{i}")
+        model.sim.run(check_deadlock=True)
+    finally:
+        for s in streams:
+            s.close()
+    recorder.finish()
+
+    print(f"timeline (matmul {n_matrix}, 4 nodes; node 0 gathers):")
+    print(render_gantt(recorder, width=68))
+    print()
+    for entity in recorder.entities():
+        totals = recorder.state_totals(entity)
+        parts = ", ".join(f"{k}={v:,.0f}" for k, v in sorted(totals.items()))
+        print(f"  {entity}: {parts}")
+
+
+if __name__ == "__main__":
+    scaling_study()
+    timeline_view()

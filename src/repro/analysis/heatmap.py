@@ -1,0 +1,83 @@
+"""Link-utilization heatmaps — network visualization, text rendered.
+
+For grid-shaped topologies the per-link utilizations of a
+:class:`~repro.commmodel.CommResult` render as a 2-D map with the
+horizontal/vertical link loads between node cells; for arbitrary
+topologies a ranked table is produced.  The headless stand-in for
+Mermaid's network-load visualization.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..commmodel.network import CommResult
+from ..topology import Topology, build_topology
+from .report import format_table
+
+__all__ = ["link_utilization_grid", "top_links"]
+
+#: glyphs from cold to hot.
+_SHADES = " .:-=+*#%@"
+
+
+def _shade(value: float, vmax: float) -> str:
+    if vmax <= 0:
+        return _SHADES[0]
+    idx = min(int(value / vmax * (len(_SHADES) - 1) + 0.5),
+              len(_SHADES) - 1)
+    return _SHADES[idx]
+
+
+def link_utilization_grid(result: CommResult,
+                          topology: Optional[Topology] = None) -> str:
+    """Render per-link utilization.
+
+    For 2-D meshes/tori: a grid where ``[ n]`` cells are nodes, the
+    glyph pairs between them are the two directed links' loads.  Other
+    topologies fall back to :func:`top_links`.
+    """
+    topo = topology if topology is not None else build_topology(
+        result.machine.network.topology)
+    util = {tuple(map(int, k.split("->"))): v
+            for k, v in result.link_utilization.items()}
+    vmax = max(util.values(), default=0.0)
+    if topo.kind not in ("mesh", "torus") or len(topo.dims) != 2:
+        return top_links(result)
+    rows_n, cols_n = topo.dims
+    index = {c: i for i, c in enumerate(topo.coords)}
+    lines = [f"link utilization (max={vmax:.2%}, scale '{_SHADES}'):"]
+    for x in range(rows_n):
+        # node row: [ id ] with horizontal link glyphs between columns.
+        cells = []
+        for y in range(cols_n):
+            node = index[(x, y)]
+            cells.append(f"[{node:3d}]")
+            if y + 1 < cols_n:
+                right = index[(x, y + 1)]
+                fwd = _shade(util.get((node, right), 0.0), vmax)
+                bwd = _shade(util.get((right, node), 0.0), vmax)
+                cells.append(f"{fwd}{bwd}")
+        lines.append(" ".join(cells))
+        if x + 1 < rows_n:
+            # vertical links row.
+            cells = []
+            for y in range(cols_n):
+                node = index[(x, y)]
+                down = index[(x + 1, y)]
+                fwd = _shade(util.get((node, down), 0.0), vmax)
+                bwd = _shade(util.get((down, node), 0.0), vmax)
+                cells.append(f" {fwd}{bwd}  ")
+                if y + 1 < cols_n:
+                    cells.append("  ")
+            lines.append(" ".join(cells))
+    return "\n".join(lines)
+
+
+def top_links(result: CommResult, limit: int = 10) -> str:
+    """Ranked table of the hottest links."""
+    rows = sorted(
+        ({"link": k, "utilization": v}
+         for k, v in result.link_utilization.items()),
+        key=lambda r: -r["utilization"])[:limit]
+    return format_table(rows, title=f"top {limit} links by utilization:")

@@ -1,0 +1,122 @@
+"""Slowdown measurement (Section 6).
+
+"The slowdown is defined by the number of cycles it takes for the host
+computer to simulate one cycle of the target architecture. ... a typical
+slowdown of about 750 to 4,000 per processor [detailed mode]; ...
+between 0.5 and 4 per processor [task level]."
+
+:class:`SlowdownMeter` wraps a simulation run with host timing and
+produces the paper's metric: host cycles per simulated target cycle per
+simulated processor, plus the derived "target cycles simulated per host
+second".
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Optional
+
+__all__ = ["SlowdownMeter", "SlowdownMeasurement"]
+
+#: Reference host clock used to convert host seconds to "host cycles".
+#: The paper's host was a 143 MHz Ultra SPARC; any constant works because
+#: slowdown comparisons divide it out — set it to your machine's clock to
+#: report absolute slowdown.
+DEFAULT_HOST_CLOCK_HZ = 2.0e9
+
+
+class SlowdownMeasurement:
+    """One slowdown data point."""
+
+    __slots__ = ("label", "host_seconds", "target_cycles", "n_processors",
+                 "host_clock_hz", "extra")
+
+    def __init__(self, label: str, host_seconds: float, target_cycles: float,
+                 n_processors: int, host_clock_hz: float,
+                 extra: Optional[dict] = None) -> None:
+        self.label = label
+        self.host_seconds = host_seconds
+        self.target_cycles = target_cycles
+        self.n_processors = n_processors
+        self.host_clock_hz = host_clock_hz
+        self.extra = extra or {}
+
+    @property
+    def host_cycles(self) -> float:
+        return self.host_seconds * self.host_clock_hz
+
+    @property
+    def slowdown(self) -> float:
+        """Host cycles per simulated target cycle (whole machine)."""
+        if self.target_cycles <= 0:
+            return float("inf")
+        return self.host_cycles / self.target_cycles
+
+    @property
+    def slowdown_per_processor(self) -> float:
+        """The paper's metric: slowdown divided by simulated processors."""
+        return self.slowdown / max(self.n_processors, 1)
+
+    @property
+    def target_cycles_per_host_second(self) -> float:
+        """How many target cycles one host second simulates."""
+        if self.host_seconds <= 0:
+            return float("inf")
+        return self.target_cycles / self.host_seconds
+
+    def summary(self) -> dict:
+        return {
+            "label": self.label,
+            "host_seconds": self.host_seconds,
+            "target_cycles": self.target_cycles,
+            "n_processors": self.n_processors,
+            "slowdown": self.slowdown,
+            "slowdown_per_processor": self.slowdown_per_processor,
+            "target_cycles_per_host_second":
+                self.target_cycles_per_host_second,
+        }
+
+    def __repr__(self) -> str:
+        return (f"<Slowdown {self.label!r} "
+                f"{self.slowdown_per_processor:.1f}/proc "
+                f"({self.target_cycles_per_host_second:.3g} cyc/s)>")
+
+
+class SlowdownMeter:
+    """Times simulation runs and accumulates slowdown measurements."""
+
+    def __init__(self, host_clock_hz: float = DEFAULT_HOST_CLOCK_HZ) -> None:
+        self.host_clock_hz = host_clock_hz
+        self.measurements: list[SlowdownMeasurement] = []
+
+    def measure(self, label: str, n_processors: int,
+                run: Callable[[], object],
+                target_cycles_of: Callable[[object], float] = None,
+                ) -> SlowdownMeasurement:
+        """Run ``run()`` under host timing.
+
+        ``target_cycles_of(result)`` extracts the simulated cycle count;
+        by default the result's ``total_cycles`` attribute is used.
+        """
+        t0 = time.perf_counter()
+        result = run()
+        host_seconds = time.perf_counter() - t0
+        if target_cycles_of is not None:
+            cycles = float(target_cycles_of(result))
+        else:
+            cycles = float(getattr(result, "total_cycles"))
+        m = SlowdownMeasurement(label, host_seconds, cycles, n_processors,
+                                self.host_clock_hz)
+        self.measurements.append(m)
+        return m
+
+    def format(self) -> str:
+        lines = [f"{'workload':<34}{'procs':>6}{'target Mcyc':>13}"
+                 f"{'host s':>9}{'slowdown/proc':>15}{'cyc/s':>12}"]
+        for m in self.measurements:
+            lines.append(
+                f"{m.label:<34}{m.n_processors:>6}"
+                f"{m.target_cycles / 1e6:>13.3f}{m.host_seconds:>9.3f}"
+                f"{m.slowdown_per_processor:>15.1f}"
+                f"{m.target_cycles_per_host_second:>12.3g}")
+        return "\n".join(lines)

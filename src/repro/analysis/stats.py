@@ -1,0 +1,67 @@
+"""Post-processing statistics helpers for simulation output."""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from ..pearl import TallyMonitor
+
+__all__ = ["histogram", "percentiles", "speedup_table", "geometric_mean"]
+
+
+def histogram(monitor: TallyMonitor, bins: int = 10
+              ) -> list[tuple[float, float, int]]:
+    """Histogram of a sample-keeping monitor: (lo, hi, count) rows."""
+    if monitor.samples is None:
+        raise ValueError(
+            f"monitor {monitor.name!r} was created without keep_samples")
+    if not monitor.samples:
+        return []
+    counts, edges = np.histogram(np.asarray(monitor.samples), bins=bins)
+    return [(float(edges[i]), float(edges[i + 1]), int(counts[i]))
+            for i in range(len(counts))]
+
+
+def percentiles(monitor: TallyMonitor,
+                qs: Sequence[float] = (50, 90, 99)) -> dict[float, float]:
+    """Percentiles of a sample-keeping monitor."""
+    if monitor.samples is None:
+        raise ValueError(
+            f"monitor {monitor.name!r} was created without keep_samples")
+    if not monitor.samples:
+        return {q: 0.0 for q in qs}
+    arr = np.asarray(monitor.samples)
+    return {q: float(np.percentile(arr, q)) for q in qs}
+
+
+def speedup_table(times_by_nodes: dict[int, float]) -> list[dict]:
+    """Speedup/efficiency rows from {n_nodes: simulated_time}.
+
+    The baseline is the smallest node count present.
+    """
+    if not times_by_nodes:
+        return []
+    base_n = min(times_by_nodes)
+    base_t = times_by_nodes[base_n]
+    rows = []
+    for n in sorted(times_by_nodes):
+        t = times_by_nodes[n]
+        speedup = base_t * base_n / t if t > 0 else math.inf
+        rows.append({
+            "nodes": n,
+            "time": t,
+            "speedup": speedup,
+            "efficiency": speedup / n,
+        })
+    return rows
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean (the customary average for slowdowns/speedups)."""
+    arr = np.asarray([v for v in values if v > 0], dtype=float)
+    if arr.size == 0:
+        return 0.0
+    return float(np.exp(np.mean(np.log(arr))))

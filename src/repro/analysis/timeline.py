@@ -1,0 +1,134 @@
+"""Timeline recording and rendering — the visualization substrate.
+
+Mermaid provided "a suite of tools ... to visualize and analyze the
+simulation output.  Visualization of simulation data can be performed
+both at run-time and post-mortem."  Headless reproduction: a
+:class:`TimelineRecorder` captures state intervals per entity while the
+simulation runs (run-time observers may subscribe) and renders them
+post-mortem as a text Gantt chart or CSV export.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, TextIO
+
+from ..pearl import Simulator
+
+__all__ = ["TimelineRecorder", "render_gantt"]
+
+#: Characters used for the Gantt rendering, by state name.
+_STATE_GLYPHS = {
+    "compute": "#",
+    "busy": "#",
+    "send": ">",
+    "send_wait": ">",
+    "recv": "<",
+    "recv_wait": "<",
+    "overhead": "o",
+    "mem_stall": "m",
+    "idle": ".",
+}
+
+
+class TimelineRecorder:
+    """Records (entity, state, start, end) intervals in simulated time.
+
+    Usage: call ``mark(entity, state)`` at every state change; the
+    previous state of that entity is closed at the current simulation
+    time.  ``finish()`` closes all open intervals.  Run-time observers
+    registered with :meth:`subscribe` are called at each mark — the
+    run-time-visualization hook.
+    """
+
+    def __init__(self, sim: Simulator) -> None:
+        self.sim = sim
+        self.intervals: list[tuple[str, str, float, float]] = []
+        self._open: dict[str, tuple[str, float]] = {}
+        self._observers: list[Callable[[float, str, str], None]] = []
+
+    def subscribe(self, observer: Callable[[float, str, str], None]) -> None:
+        """Register a run-time observer called as ``observer(t, entity,
+        state)`` at every mark."""
+        self._observers.append(observer)
+
+    def mark(self, entity: str, state: str) -> None:
+        now = self.sim.now
+        prev = self._open.get(entity)
+        if prev is not None:
+            prev_state, start = prev
+            if now > start:
+                self.intervals.append((entity, prev_state, start, now))
+        self._open[entity] = (state, now)
+        for obs in self._observers:
+            obs(now, entity, state)
+
+    def finish(self) -> None:
+        now = self.sim.now
+        for entity, (state, start) in self._open.items():
+            if now > start:
+                self.intervals.append((entity, state, start, now))
+        self._open.clear()
+
+    # -- post-mortem exports ------------------------------------------------
+
+    def entities(self) -> list[str]:
+        seen: dict[str, None] = {}
+        for entity, _, _, _ in self.intervals:
+            seen.setdefault(entity)
+        return list(seen)
+
+    def to_csv(self, fp: TextIO) -> None:
+        fp.write("entity,state,start,end\n")
+        for entity, state, start, end in self.intervals:
+            fp.write(f"{entity},{state},{start:.6g},{end:.6g}\n")
+
+    def state_totals(self, entity: str) -> dict[str, float]:
+        """Total simulated time per state for one entity."""
+        totals: dict[str, float] = {}
+        for ent, state, start, end in self.intervals:
+            if ent == entity:
+                totals[state] = totals.get(state, 0.0) + (end - start)
+        return totals
+
+
+def render_gantt(recorder: TimelineRecorder, width: int = 72,
+                 until: Optional[float] = None) -> str:
+    """Text Gantt chart: one row per entity, one glyph per time bucket.
+
+    Each bucket shows the state occupying the most time within it.
+    """
+    intervals = recorder.intervals
+    if not intervals:
+        return "(empty timeline)"
+    horizon = until if until is not None else max(e for _, _, _, e in intervals)
+    if horizon <= 0:
+        return "(empty timeline)"
+    bucket = horizon / width
+    rows = []
+    for entity in recorder.entities():
+        # occupancy[b][state] = time of `state` within bucket b.
+        occupancy: list[dict[str, float]] = [{} for _ in range(width)]
+        for ent, state, start, end in intervals:
+            if ent != entity:
+                continue
+            b0 = min(int(start / bucket), width - 1)
+            b1 = min(int((end - 1e-12) / bucket), width - 1)
+            for b in range(b0, b1 + 1):
+                lo = max(start, b * bucket)
+                hi = min(end, (b + 1) * bucket)
+                if hi > lo:
+                    occ = occupancy[b]
+                    occ[state] = occ.get(state, 0.0) + (hi - lo)
+        chars = []
+        for occ in occupancy:
+            if not occ:
+                chars.append(" ")
+            else:
+                state = max(occ, key=occ.get)
+                chars.append(_STATE_GLYPHS.get(state, state[0]))
+        rows.append(f"{entity:<14}|{''.join(chars)}|")
+    legend = "  ".join(f"{g}={s}" for s, g in
+                       (("compute", "#"), ("send", ">"), ("recv", "<"),
+                        ("overhead", "o"), ("idle", ".")))
+    header = f"t = 0 .. {horizon:.4g} cycles ({bucket:.4g}/col)   {legend}"
+    return "\n".join([header] + rows)

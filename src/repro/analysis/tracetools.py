@@ -1,0 +1,111 @@
+"""Trace inspection tools — post-mortem analysis of operation traces.
+
+Mermaid's toolbox included post-mortem analysis of simulation artefacts;
+these helpers do the same for traces: human-readable dumps, summary
+profiles, and structural comparison of two trace sets (e.g. recorded vs
+regenerated, or two application variants).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, TextIO
+
+from ..operations.ops import (
+    ARITHMETIC_OPS,
+    COMMUNICATION_OPS,
+    CONTROL_OPS,
+    MEMORY_OPS,
+    OpCode,
+)
+from ..operations.trace import Trace, TraceSet
+from .report import format_table
+
+__all__ = ["dump_trace", "trace_profile", "trace_set_profile",
+           "compare_trace_sets"]
+
+
+def dump_trace(trace: Trace, fp: TextIO, limit: Optional[int] = None) -> int:
+    """Write one operation per line; returns the number written."""
+    written = 0
+    for i, op in enumerate(trace):
+        if limit is not None and i >= limit:
+            fp.write(f"... ({len(trace) - limit} more)\n")
+            break
+        fp.write(f"{i:8d}  {op!r}\n")
+        written += 1
+    return written
+
+
+def trace_profile(trace: Trace) -> dict:
+    """Category-level profile of one node's trace."""
+    hist = trace.op_histogram()
+
+    def count(codes) -> int:
+        return sum(n for c, n in hist.items() if c in codes)
+
+    total = len(trace)
+    memory = count(MEMORY_OPS)
+    arith = count(ARITHMETIC_OPS)
+    control = count(CONTROL_OPS)
+    comm = count(COMMUNICATION_OPS)
+    ifetches = hist.get(OpCode.IFETCH, 0)
+    unique_fetch = len({op.address for op in trace
+                        if op.code is OpCode.IFETCH})
+    return {
+        "node": trace.node,
+        "ops": total,
+        "memory": memory,
+        "arithmetic": arith,
+        "control": control,
+        "communication": comm,
+        "bytes_sent": trace.bytes_sent,
+        "loop_reuse": (ifetches / unique_fetch) if unique_fetch else 0.0,
+    }
+
+
+def trace_set_profile(traces: TraceSet) -> list[dict]:
+    """Per-node profiles plus a totals row."""
+    rows = [trace_profile(t) for t in traces]
+    total = {"node": "all"}
+    for key in ("ops", "memory", "arithmetic", "control", "communication",
+                "bytes_sent"):
+        total[key] = sum(r[key] for r in rows)
+    total["loop_reuse"] = (sum(r["loop_reuse"] for r in rows)
+                           / len(rows)) if rows else 0.0
+    return rows + [total]
+
+
+def compare_trace_sets(a: TraceSet, b: TraceSet,
+                       label_a: str = "a", label_b: str = "b") -> dict:
+    """Structural diff of two trace sets.
+
+    Returns per-op-code count deltas and the first differing position
+    per node (None if prefix-equal), for regression analysis of trace
+    generators.
+    """
+    if len(a) != len(b):
+        return {"node_count": (len(a), len(b)), "comparable": False}
+    hist_a = a.op_histogram()
+    hist_b = b.op_histogram()
+    codes = set(hist_a) | set(hist_b)
+    deltas = {code.name.lower(): hist_b.get(code, 0) - hist_a.get(code, 0)
+              for code in sorted(codes)
+              if hist_b.get(code, 0) != hist_a.get(code, 0)}
+    first_diff: dict[int, Optional[int]] = {}
+    for ta, tb in zip(a, b):
+        pos = None
+        for i, (oa, ob) in enumerate(zip(ta, tb)):
+            if oa != ob:
+                pos = i
+                break
+        if pos is None and len(ta) != len(tb):
+            pos = min(len(ta), len(tb))
+        first_diff[ta.node] = pos
+    return {
+        "comparable": True,
+        "identical": not deltas and all(v is None
+                                        for v in first_diff.values()),
+        "count_deltas": deltas,
+        "first_difference": first_diff,
+        "total_ops": {label_a: a.total_ops, label_b: b.total_ops},
+    }

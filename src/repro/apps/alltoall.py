@@ -1,0 +1,56 @@
+"""All-to-all personalized exchange — the network stress workload.
+
+Every node sends a distinct block to every other node in n-1 shifted
+rounds (node ``me`` sends to ``me+r`` and receives from ``me-r`` in
+round r).  Saturates bisection bandwidth, so it separates topologies
+and switching strategies clearly (benchmark F3b).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..operations.ops import compute, recv, send
+from ..operations.trace import Trace, TraceSet
+from ..operations.optypes import ArithType
+from .api import NodeContext
+
+__all__ = ["make_alltoall", "alltoall_task_traces"]
+
+
+def make_alltoall(block_bytes: int = 2048, rounds: int = 1,
+                  work_flops: int = 256) -> Callable[[NodeContext], None]:
+    """Instrumented all-to-all: compute a little, exchange everything.
+
+    Synchronous sends complete at delivery (buffered at the receiver),
+    so the everyone-sends-then-receives round structure cannot deadlock.
+    """
+    if block_bytes < 1 or rounds < 1:
+        raise ValueError("need block_bytes >= 1 and rounds >= 1")
+
+    def program(ctx: NodeContext) -> None:
+        me, p = ctx.node_id, ctx.n_nodes
+        for _ in ctx.loop(range(rounds)):
+            if work_flops:
+                ctx.flops(work_flops)
+            for r in ctx.loop(range(1, p)):
+                ctx.send((me + r) % p, block_bytes)
+                ctx.recv((me - r) % p)
+    return program
+
+
+def alltoall_task_traces(n_nodes: int, block_bytes: int = 2048,
+                         rounds: int = 1,
+                         compute_cycles: float = 1000.0) -> TraceSet:
+    """Task-level all-to-all traces for comm-only simulation."""
+    traces = []
+    for me in range(n_nodes):
+        ops = []
+        for _ in range(rounds):
+            if compute_cycles:
+                ops.append(compute(compute_cycles))
+            for r in range(1, n_nodes):
+                ops.append(send(block_bytes, (me + r) % n_nodes))
+                ops.append(recv((me - r) % n_nodes))
+        traces.append(Trace(me, ops))
+    return TraceSet(traces)

@@ -1,0 +1,69 @@
+"""Parallel FFT butterfly — the canonical hypercube workload.
+
+A radix-2 distributed FFT over P = 2^d nodes: log2(P) butterfly stages,
+stage k exchanging half the local data with the partner ``me ^ 2^k``
+followed by the local butterflies (complex multiply-add per point).
+On a hypercube every exchange is nearest-neighbour; on lesser
+topologies the later (high-bit) stages pay multi-hop latency — the
+textbook argument for cube-like interconnects that an architecture
+workbench exists to quantify.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..operations.optypes import ArithType, MemType
+from .api import NodeContext
+
+__all__ = ["make_fft"]
+
+
+def make_fft(points_per_node: int = 64) -> Callable[[NodeContext], None]:
+    """Build the instrumented distributed FFT program.
+
+    Requires a power-of-two node count.  ``points_per_node`` complex
+    points per node; each stage annotates the exchange (half the local
+    data both ways) and the local butterfly arithmetic (one complex
+    multiply + two complex adds per point: 10 real flops).
+    """
+    if points_per_node < 2 or points_per_node & (points_per_node - 1):
+        raise ValueError("points_per_node must be a power of two >= 2")
+
+    def program(ctx: NodeContext) -> None:
+        me, p = ctx.node_id, ctx.n_nodes
+        if p & (p - 1):
+            raise ValueError(f"FFT needs a power-of-two node count, got {p}")
+        X = ctx.global_var("X", MemType.FLOAT64, 2 * points_per_node)
+        W = ctx.global_var("W", MemType.FLOAT64, points_per_node)
+        half_bytes = points_per_node * 8     # half the complex data
+        stages = p.bit_length() - 1
+        for stage in ctx.loop(range(stages)):
+            partner = me ^ (1 << stage)
+            # Pairwise exchange of halves (lower id sends first).
+            if me < partner:
+                ctx.send(partner, half_bytes)
+                ctx.recv(partner)
+            else:
+                ctx.recv(partner)
+                ctx.send(partner, half_bytes)
+            # Local butterflies over every point.
+            for i in ctx.loop(range(points_per_node)):
+                ctx.read(X, 2 * i)          # re
+                ctx.read(X, 2 * i + 1)      # im
+                ctx.read(W, i)              # twiddle
+                ctx.mul(ArithType.DOUBLE, count=4)   # complex multiply
+                ctx.add(ArithType.DOUBLE, count=6)   # cross terms + adds
+                ctx.write(X, 2 * i)
+                ctx.write(X, 2 * i + 1)
+        # Final local stages need no communication: log2(n_local) rounds
+        # of butterflies over the resident points.
+        local_stages = points_per_node.bit_length() - 1
+        for _ in ctx.loop(range(local_stages)):
+            for i in ctx.loop(range(points_per_node // 2)):
+                ctx.read(X, 2 * i)
+                ctx.read(X, 2 * i + 1)
+                ctx.mul(ArithType.DOUBLE, count=4)
+                ctx.add(ArithType.DOUBLE, count=6)
+                ctx.write(X, 2 * i)
+    return program

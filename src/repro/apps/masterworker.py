@@ -1,0 +1,98 @@
+"""Master/worker dynamic load balancing — runtime-system-level modelling.
+
+The paper's abstract promises "study of the interaction between
+software and hardware at different levels, ranging from the application
+level to the runtime system level"; a self-scheduling task farm is the
+classic runtime-system workload.  Node 0 is the master holding a bag of
+tasks with heterogeneous (seeded) costs; workers request work, execute
+it (annotated flops proportional to the task's cost), and return
+results; the master services whoever speaks first via ``recv_any``
+(occam-ALT style).
+
+Because assignment depends on *which worker asks first in simulated
+time*, the trace is genuinely execution-driven: different architectures
+produce different schedules — exactly the non-determinism that
+physical-time interleaving exists to keep valid.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from ..operations.optypes import ArithType
+from .api import NodeContext
+
+__all__ = ["make_master_worker"]
+
+#: sentinel payload telling a worker to stop.
+_POISON = ("__done__",)
+
+
+def make_master_worker(n_tasks: int = 24, mean_flops: int = 400,
+                       seed: int = 0, request_bytes: int = 16,
+                       task_bytes: int = 1024, result_bytes: int = 64,
+                       collect: Optional[dict] = None
+                       ) -> Callable[[NodeContext], None]:
+    """Build the task-farm program.
+
+    ``collect`` (optional dict) receives the final schedule:
+    ``collect["assignments"]`` maps task id → worker and
+    ``collect["per_worker"]`` counts tasks per worker.
+    """
+    if n_tasks < 1 or mean_flops < 1:
+        raise ValueError("need n_tasks >= 1 and mean_flops >= 1")
+    rng = np.random.default_rng(seed)
+    # Heterogeneous task costs, fixed by the seed.
+    costs = [max(int(c), 1) for c in
+             rng.exponential(mean_flops, size=n_tasks)]
+
+    def master(ctx: NodeContext) -> None:
+        p = ctx.n_nodes
+        assignments: dict[int, int] = {}
+        next_task = 0
+        outstanding = 0
+        # Every worker sends an initial request; afterwards each result
+        # implies the worker is idle again.
+        expected = p - 1
+        while next_task < n_tasks or outstanding > 0:
+            worker, payload = ctx.recv_any()
+            if payload != "request":
+                outstanding -= 1     # a completed task's result
+            if next_task < n_tasks:
+                task_id = next_task
+                next_task += 1
+                outstanding += 1
+                assignments[task_id] = worker
+                ctx.send(worker, task_bytes,
+                         payload=("task", task_id, costs[task_id]))
+        for worker in range(1, p):
+            ctx.send(worker, request_bytes, payload=_POISON)
+        if collect is not None:
+            per_worker = {w: 0 for w in range(1, p)}
+            for w in assignments.values():
+                per_worker[w] += 1
+            collect["assignments"] = dict(assignments)
+            collect["per_worker"] = per_worker
+            collect["costs"] = list(costs)
+
+    def worker(ctx: NodeContext) -> None:
+        ctx.send(0, request_bytes, payload="request")
+        while True:
+            task = ctx.recv(0)
+            if task == _POISON:
+                break
+            _tag, task_id, cost = task
+            ctx.flops(cost, arith_type=ArithType.DOUBLE)
+            ctx.send(0, result_bytes, payload=("result", task_id))
+
+    def program(ctx: NodeContext) -> None:
+        if ctx.n_nodes < 2:
+            raise ValueError("master/worker needs at least 2 nodes")
+        if ctx.node_id == 0:
+            master(ctx)
+        else:
+            worker(ctx)
+
+    return program

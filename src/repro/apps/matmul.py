@@ -1,0 +1,73 @@
+"""SPMD blocked matrix multiplication — the classic multicomputer kernel.
+
+Row-block decomposition of C = A × B: every node owns N/P rows of A and
+C and a full copy of B, computes its block, and gathers results to node
+0.  The instrumented inner loop annotates the two loads, multiply,
+accumulate-add and store a compiler would emit, so the computational
+model sees a realistic address stream (A walks row-major, B column-wise
+— the cache-hostile direction).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..operations.optypes import ArithType, MemType
+from .api import NodeContext
+
+__all__ = ["make_matmul", "matmul_flops"]
+
+
+def matmul_flops(n: int) -> int:
+    """Floating-point operations of an n×n×n multiply (mul + add)."""
+    return 2 * n ** 3
+
+
+def make_matmul(n: int = 32, gather: bool = True
+                ) -> Callable[[NodeContext], None]:
+    """Build the instrumented SPMD matmul program for n×n matrices.
+
+    Rows are distributed as evenly as possible; with ``gather`` each
+    node sends its C block to node 0 at the end.
+    """
+    if n < 1:
+        raise ValueError(f"matrix size must be >= 1, got {n}")
+
+    def program(ctx: NodeContext) -> None:
+        me, p = ctx.node_id, ctx.n_nodes
+        rows = n // p + (1 if me < n % p else 0)
+        if rows == 0:
+            # More nodes than rows: idle nodes still join the gather.
+            if gather and me != 0:
+                pass
+            if gather and me == 0:
+                for peer in range(1, p):
+                    peer_rows = n // p + (1 if peer < n % p else 0)
+                    if peer_rows:
+                        ctx.recv(peer)
+            return
+        A = ctx.global_var("A", MemType.FLOAT64, rows * n)
+        B = ctx.global_var("B", MemType.FLOAT64, n * n)
+        C = ctx.global_var("C", MemType.FLOAT64, rows * n)
+        acc = ctx.local_var("acc", MemType.FLOAT64)   # register-allocated
+
+        for i in ctx.loop(range(rows)):
+            for j in ctx.loop(range(n)):
+                ctx.const(MemType.FLOAT64)            # acc = 0.0
+                for k in ctx.loop(range(n)):
+                    ctx.read(A, i * n + k)
+                    ctx.read(B, k * n + j)            # column walk of B
+                    ctx.mul(ArithType.DOUBLE)
+                    ctx.add(ArithType.DOUBLE)         # acc += a*b
+                ctx.write(C, i * n + j)
+
+        if gather:
+            block_bytes = rows * n * 8
+            if me == 0:
+                for peer in range(1, p):
+                    peer_rows = n // p + (1 if peer < n % p else 0)
+                    if peer_rows:
+                        ctx.recv(peer)
+            else:
+                ctx.send(0, block_bytes)
+    return program

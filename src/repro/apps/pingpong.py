@@ -1,0 +1,61 @@
+"""Ping-pong — the communication micro-benchmark.
+
+Two nodes bounce a message back and forth; everyone else idles.  Used to
+calibrate/validate link parameters (latency = alpha + beta·size) and to
+compare switching strategies at different hop counts.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..operations.ops import recv, send
+from ..operations.trace import Trace, TraceSet
+from .api import NodeContext
+
+__all__ = ["make_pingpong", "pingpong_task_traces"]
+
+
+def make_pingpong(size: int = 1024, repeats: int = 8, a: int = 0,
+                  b: Optional[int] = None
+                  ) -> Callable[[NodeContext], None]:
+    """Instrumented ping-pong between nodes ``a`` and ``b`` (default:
+    the last node, maximizing hop count)."""
+    if size < 0 or repeats < 1:
+        raise ValueError("need size >= 0 and repeats >= 1")
+
+    def program(ctx: NodeContext) -> None:
+        me, p = ctx.node_id, ctx.n_nodes
+        peer_b = (p - 1) if b is None else b
+        if a == peer_b:
+            raise ValueError("ping-pong needs two distinct nodes")
+        if me == a:
+            for _ in ctx.loop(range(repeats)):
+                ctx.send(peer_b, size)
+                ctx.recv(peer_b)
+        elif me == peer_b:
+            for _ in ctx.loop(range(repeats)):
+                ctx.recv(a)
+                ctx.send(a, size)
+    return program
+
+
+def pingpong_task_traces(n_nodes: int, size: int = 1024, repeats: int = 8,
+                         a: int = 0, b: Optional[int] = None,
+                         think_cycles: float = 0.0) -> TraceSet:
+    """Pure task-level ping-pong traces (no instrumentation needed)."""
+    peer_b = (n_nodes - 1) if b is None else b
+    if a == peer_b:
+        raise ValueError("ping-pong needs two distinct nodes")
+    from ..operations.ops import compute
+    ops_a: list = []
+    ops_b: list = []
+    for _ in range(repeats):
+        if think_cycles:
+            ops_a.append(compute(think_cycles))
+        ops_a += [send(size, peer_b), recv(peer_b)]
+        ops_b += [recv(a), send(size, a)]
+    traces = [Trace(i) for i in range(n_nodes)]
+    traces[a] = Trace(a, ops_a)
+    traces[peer_b] = Trace(peer_b, ops_b)
+    return TraceSet(traces)

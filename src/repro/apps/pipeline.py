@@ -1,0 +1,63 @@
+"""Software pipeline — streaming items through a chain of stages.
+
+Node i receives an item from node i-1, processes it, and forwards it to
+node i+1; m items stream through.  The pattern exposes pipeline fill
+time and per-stage load imbalance (the timeline Gantt renders it
+nicely).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from ..operations.ops import compute, recv, send
+from ..operations.trace import Trace, TraceSet
+from ..operations.optypes import ArithType
+from .api import NodeContext
+
+__all__ = ["make_pipeline", "pipeline_task_traces"]
+
+
+def make_pipeline(items: int = 8, item_bytes: int = 4096,
+                  stage_flops: int = 512) -> Callable[[NodeContext], None]:
+    """Instrumented pipeline: each node is one stage."""
+    if items < 1 or item_bytes < 1:
+        raise ValueError("need items >= 1 and item_bytes >= 1")
+
+    def program(ctx: NodeContext) -> None:
+        me, p = ctx.node_id, ctx.n_nodes
+        for i in ctx.loop(range(items)):
+            if me > 0:
+                ctx.recv(me - 1)
+            if stage_flops:
+                ctx.flops(stage_flops)
+            if me < p - 1:
+                ctx.send(me + 1, item_bytes, payload=i)
+    return program
+
+
+def pipeline_task_traces(n_nodes: int, items: int = 8,
+                         item_bytes: int = 4096,
+                         stage_cycles: Sequence[float] | float = 2000.0
+                         ) -> TraceSet:
+    """Task-level pipeline traces.
+
+    ``stage_cycles`` may be a scalar or per-stage sequence (to model an
+    imbalanced pipeline — the slowest stage sets the throughput).
+    """
+    if isinstance(stage_cycles, (int, float)):
+        stage_cycles = [float(stage_cycles)] * n_nodes
+    if len(stage_cycles) != n_nodes:
+        raise ValueError(
+            f"need {n_nodes} stage_cycles entries, got {len(stage_cycles)}")
+    traces = []
+    for me in range(n_nodes):
+        ops = []
+        for _ in range(items):
+            if me > 0:
+                ops.append(recv(me - 1))
+            ops.append(compute(stage_cycles[me]))
+            if me < n_nodes - 1:
+                ops.append(send(item_bytes, me + 1))
+        traces.append(Trace(me, ops))
+    return TraceSet(traces)

@@ -1,0 +1,46 @@
+"""Global reduction + broadcast — the collective-communication workload.
+
+Each node computes a partial result over its local data, the partials
+are reduced to node 0, and the global value is broadcast back (an
+allreduce).  Host payloads carry real partial sums, so the example also
+demonstrates data-dependent program logic riding on the simulation.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..operations.optypes import ArithType, MemType
+from .api import NodeContext
+
+__all__ = ["make_reduction"]
+
+
+def make_reduction(local_elems: int = 256, value_bytes: int = 8,
+                   check: bool = True) -> Callable[[NodeContext], None]:
+    """Build the instrumented allreduce program.
+
+    Every node sums ``local_elems`` doubles (annotated loads + adds),
+    reduces the partial to node 0, and receives the broadcast total.
+    With ``check``, nodes assert the reduced value is correct — host
+    logic validating the payload plumbing end to end.
+    """
+    if local_elems < 1:
+        raise ValueError("local_elems must be >= 1")
+
+    def program(ctx: NodeContext) -> None:
+        me, p = ctx.node_id, ctx.n_nodes
+        X = ctx.global_var("X", MemType.FLOAT64, local_elems)
+        partial = 0.0
+        for i in ctx.loop(range(local_elems)):
+            ctx.read(X, i)
+            ctx.add(ArithType.DOUBLE)
+            partial += float(me + 1)       # host-side real arithmetic
+        total = ctx.reduce_to_root(0, value_bytes, partial)
+        result = ctx.broadcast(0, value_bytes,
+                               total if me == 0 else None)
+        if check:
+            expected = sum(local_elems * (node + 1) for node in range(p))
+            assert result == expected, (
+                f"node {me}: allreduce got {result}, expected {expected}")
+    return program

@@ -1,0 +1,232 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+A thin operational layer over the workbench for the common
+no-code-needed tasks:
+
+* ``info``        — list machine presets and their key parameters;
+* ``calibrate``   — run the calibration micro-benchmarks on a preset;
+* ``slowdown``    — measure detailed- and task-level slowdown (Sec 6);
+* ``stochastic``  — fast-prototype a preset under a synthetic workload;
+* ``trace``       — profile (or dump) a saved ``.npz`` trace set.
+
+Machines are named by preset, with overrides as ``key=value`` pairs
+(e.g. ``--set network.link_bandwidth=8``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Optional, Sequence
+
+from .analysis import (
+    SlowdownMeter,
+    comm_report,
+    format_table,
+    trace_set_profile,
+)
+from .core.config import MachineConfig
+from .core.workbench import Workbench
+from .machines import calibrate as run_calibration
+from .machines import generic_multicomputer, powerpc601_node, smp_node, t805_grid
+from .operations.trace import TraceSet
+from .tracegen import StochasticAppDescription
+
+__all__ = ["main", "build_machine", "PRESETS"]
+
+PRESETS: dict[str, Callable[[], MachineConfig]] = {
+    "t805-grid": lambda: t805_grid(4, 4),
+    "t805-grid-2x2": lambda: t805_grid(2, 2),
+    "powerpc601": powerpc601_node,
+    "generic-mesh": lambda: generic_multicomputer("mesh", (4, 4)),
+    "generic-hypercube": lambda: generic_multicomputer("hypercube", (4,)),
+    "generic-fattree": lambda: _fattree(),
+    "smp4": lambda: smp_node(4),
+}
+
+
+def _fattree() -> MachineConfig:
+    machine = generic_multicomputer("mesh", (2, 2))
+    machine.network.topology.kind = "fat_tree"
+    machine.network.topology.dims = (2, 4)
+    machine.network.routing = "shortest_path"
+    machine.name = "generic-fattree2x4"
+    return machine.validate()
+
+
+def _apply_override(machine: MachineConfig, spec: str) -> None:
+    """Apply one ``dotted.path=value`` override onto the config."""
+    try:
+        path, raw = spec.split("=", 1)
+    except ValueError:
+        raise SystemExit(f"bad override {spec!r}; expected key=value")
+    target = machine
+    parts = path.split(".")
+    for part in parts[:-1]:
+        if not hasattr(target, part):
+            raise SystemExit(f"unknown config path {path!r}")
+        target = getattr(target, part)
+    leaf = parts[-1]
+    if not hasattr(target, leaf):
+        raise SystemExit(f"unknown config path {path!r}")
+    current = getattr(target, leaf)
+    value: object
+    if isinstance(current, bool):
+        value = raw.lower() in ("1", "true", "yes")
+    elif isinstance(current, int):
+        value = int(raw)
+    elif isinstance(current, float):
+        value = float(raw)
+    elif isinstance(current, tuple):
+        value = tuple(int(x) for x in raw.split(","))
+    else:
+        value = raw
+    setattr(target, leaf, value)
+
+
+def build_machine(preset: str, overrides: Sequence[str] = ()) -> MachineConfig:
+    """Instantiate a preset and apply ``key=value`` overrides."""
+    try:
+        machine = PRESETS[preset]()
+    except KeyError:
+        raise SystemExit(
+            f"unknown preset {preset!r}; choose from: "
+            + ", ".join(sorted(PRESETS)))
+    for spec in overrides:
+        _apply_override(machine, spec)
+    return machine.validate()
+
+
+# ---------------------------------------------------------------------------
+# Subcommands
+# ---------------------------------------------------------------------------
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    rows = []
+    for name, factory in sorted(PRESETS.items()):
+        m = factory()
+        rows.append({
+            "preset": name,
+            "nodes": m.n_nodes,
+            "cpus/node": m.node.n_cpus,
+            "clock_mhz": m.node.cpu.clock_hz / 1e6,
+            "topology": m.network.topology.kind,
+            "switching": m.network.switching,
+            "coherence": f"{m.node.coherence_style}/{m.node.coherence}",
+        })
+    print(format_table(rows, title="machine presets:"))
+    return 0
+
+
+def _cmd_calibrate(args: argparse.Namespace) -> int:
+    machine = build_machine(args.preset, args.set or ())
+    report = run_calibration(machine)
+    print(report.format())
+    return 0
+
+
+def _cmd_slowdown(args: argparse.Namespace) -> int:
+    from .tracegen import StochasticGenerator
+    machine = build_machine(args.preset, args.set or ())
+    wb = Workbench(machine)
+    meter = SlowdownMeter(host_clock_hz=args.host_clock_hz)
+    desc = StochasticAppDescription()
+    n = machine.n_nodes
+    instr = StochasticGenerator(desc, n, seed=1).generate_instruction_level(
+        args.ops)
+    tasks = StochasticGenerator(desc, n, seed=1).generate_task_level(
+        max(args.ops // 2000, 1))
+    if machine.node.n_cpus == 1:
+        meter.measure("detailed (instruction level)", n,
+                      lambda: wb.run_mixed_traces(instr))
+    meter.measure("fast prototyping (task level)", n,
+                  lambda: wb.run_comm_only(tasks))
+    print(meter.format())
+    return 0
+
+
+def _cmd_stochastic(args: argparse.Namespace) -> int:
+    from .tracegen import WORKLOAD_CLASSES
+    machine = build_machine(args.preset, args.set or ())
+    wb = Workbench(machine)
+    if args.workload:
+        desc = WORKLOAD_CLASSES[args.workload]()
+    else:
+        desc = StochasticAppDescription(
+            mean_task_cycles=args.mean_task_cycles)
+    result = wb.run_stochastic(desc, level="task", rounds=args.rounds,
+                               seed=args.seed)
+    print(comm_report(result))
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    traces = TraceSet.load(args.path)
+    rows = trace_set_profile(traces)
+    print(format_table(rows, title=f"trace profile ({args.path}):"))
+    if args.dump is not None:
+        from .analysis import dump_trace
+        dump_trace(traces[args.dump_node], sys.stdout, limit=args.dump)
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# Entry point
+# ---------------------------------------------------------------------------
+
+def _parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Mermaid architecture workbench (IPPS 1997 "
+                    "reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="list machine presets")
+
+    for name, help_text in (("calibrate", "calibration micro-benchmarks"),
+                            ("slowdown", "Section-6 slowdown measurement"),
+                            ("stochastic", "fast-prototype a preset")):
+        p = sub.add_parser(name, help=help_text)
+        p.add_argument("preset", choices=sorted(PRESETS))
+        p.add_argument("--set", action="append", metavar="PATH=VALUE",
+                       help="config override, e.g. "
+                            "network.link_bandwidth=8")
+        if name == "slowdown":
+            p.add_argument("--ops", type=int, default=20_000,
+                           help="instructions per node (default 20000)")
+            p.add_argument("--host-clock-hz", type=float, default=2e9)
+        if name == "stochastic":
+            p.add_argument("--rounds", type=int, default=30)
+            p.add_argument("--seed", type=int, default=0)
+            p.add_argument("--mean-task-cycles", type=float,
+                           default=20_000.0)
+            from .tracegen import WORKLOAD_CLASSES as _classes
+            p.add_argument("--workload", choices=sorted(_classes),
+                           default=None,
+                           help="use a workload-class preset instead of "
+                                "the generic description")
+
+    p = sub.add_parser("trace", help="profile a saved .npz trace set")
+    p.add_argument("path")
+    p.add_argument("--dump", type=int, default=None, metavar="N",
+                   help="also dump the first N ops of one node")
+    p.add_argument("--dump-node", type=int, default=0)
+    return parser
+
+
+_COMMANDS = {
+    "info": _cmd_info,
+    "calibrate": _cmd_calibrate,
+    "slowdown": _cmd_slowdown,
+    "stochastic": _cmd_stochastic,
+    "trace": _cmd_trace,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = _parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

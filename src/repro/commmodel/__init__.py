@@ -1,0 +1,34 @@
+"""``repro.commmodel`` — the multi-node communication model (Fig 3b).
+
+Abstract processors (NICs), routers with configurable routing and
+switching strategies, communication links with virtual channels, and
+the network model that drives task-level operation traces through them.
+"""
+
+from .link import Link
+from .message import Message, Packet
+from .network import CommResult, MultiNodeModel, NodeActivity
+from .nic import NIC, NICStats, RecvAnyEvent
+from .routing import (
+    DimensionOrderRouting,
+    RandomMinimalRouting,
+    RoutingFunction,
+    ShortestPathRouting,
+    make_routing,
+)
+from .switching import (
+    StoreAndForward,
+    SwitchingEngine,
+    VirtualCutThrough,
+    Wormhole,
+    make_switching,
+)
+
+__all__ = [
+    "CommResult", "DimensionOrderRouting", "Link", "Message",
+    "MultiNodeModel", "NIC", "NICStats", "NodeActivity", "Packet",
+    "RandomMinimalRouting", "RecvAnyEvent",
+    "RoutingFunction", "ShortestPathRouting", "StoreAndForward",
+    "SwitchingEngine", "VirtualCutThrough", "Wormhole", "make_routing",
+    "make_switching",
+]

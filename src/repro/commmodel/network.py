@@ -1,0 +1,252 @@
+"""The multi-node communication model template (Fig 3b).
+
+Builds the whole interconnect — abstract processors (NICs), routers
+(the switching engine's per-packet transfer processes), links, and the
+physical topology — and drives one task-level operation stream per
+node.  This *is* Mermaid's fast-prototyping mode: "if fast prototyping
+of a multicomputer is the primary goal, then the communication model
+can be used directly".
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Optional, Sequence
+
+from ..core.config import MachineConfig
+from ..operations.ops import OpCode, Operation
+from ..pearl import DeadlockError, Simulator, TallyMonitor
+from ..topology import build_topology
+from .message import Message
+from .nic import NIC, RecvAnyEvent
+from .routing import make_routing
+from .switching import make_switching
+
+__all__ = ["MultiNodeModel", "CommResult", "NodeActivity"]
+
+
+class NodeActivity:
+    """Time breakdown for one node's abstract processor."""
+
+    __slots__ = ("node", "compute_cycles", "send_wait_cycles",
+                 "recv_wait_cycles", "overhead_cycles", "ops_processed",
+                 "finish_time")
+
+    def __init__(self, node: int) -> None:
+        self.node = node
+        self.compute_cycles = 0.0
+        self.send_wait_cycles = 0.0
+        self.recv_wait_cycles = 0.0
+        self.overhead_cycles = 0.0
+        self.ops_processed = 0
+        self.finish_time = 0.0
+
+    @property
+    def comm_cycles(self) -> float:
+        return (self.send_wait_cycles + self.recv_wait_cycles
+                + self.overhead_cycles)
+
+    def busy_fraction(self, horizon: float) -> float:
+        return self.compute_cycles / horizon if horizon > 0 else 0.0
+
+    def summary(self) -> dict:
+        return {
+            "node": self.node,
+            "compute_cycles": self.compute_cycles,
+            "send_wait_cycles": self.send_wait_cycles,
+            "recv_wait_cycles": self.recv_wait_cycles,
+            "overhead_cycles": self.overhead_cycles,
+            "ops_processed": self.ops_processed,
+            "finish_time": self.finish_time,
+        }
+
+
+class CommResult:
+    """Outcome of one communication-model simulation."""
+
+    def __init__(self, machine: MachineConfig, total_cycles: float,
+                 activity: list[NodeActivity], message_latency: TallyMonitor,
+                 engine_summary: dict, link_utilization: dict) -> None:
+        self.machine = machine
+        self.total_cycles = total_cycles
+        self.activity = activity
+        self.message_latency = message_latency
+        self.engine_summary = engine_summary
+        self.link_utilization = link_utilization
+
+    @property
+    def seconds(self) -> float:
+        return self.total_cycles / self.machine.node.cpu.clock_hz
+
+    @property
+    def messages_delivered(self) -> int:
+        return self.engine_summary["messages_delivered"]
+
+    def parallel_efficiency(self) -> float:
+        """Mean node busy (compute) fraction — the load-balance view."""
+        if self.total_cycles <= 0 or not self.activity:
+            return 0.0
+        return (sum(a.compute_cycles for a in self.activity)
+                / (self.total_cycles * len(self.activity)))
+
+    def summary(self) -> dict:
+        return {
+            "machine": self.machine.name,
+            "total_cycles": self.total_cycles,
+            "seconds": self.seconds,
+            "parallel_efficiency": self.parallel_efficiency(),
+            "message_latency": self.message_latency.summary(),
+            "engine": self.engine_summary,
+            "nodes": [a.summary() for a in self.activity],
+        }
+
+    def __repr__(self) -> str:
+        return (f"<CommResult cycles={self.total_cycles:.0f} "
+                f"msgs={self.messages_delivered} "
+                f"eff={self.parallel_efficiency():.2f}>")
+
+
+class MultiNodeModel:
+    """The communication model: topology + routers + links + NICs.
+
+    Feed it one task-level operation stream per node via :meth:`run`.
+    In hybrid mode (:mod:`repro.hybrid`) the streams come from the
+    single-node computational models; in fast-prototyping mode they come
+    straight from a trace generator.
+    """
+
+    def __init__(self, machine: MachineConfig,
+                 sim: Optional[Simulator] = None) -> None:
+        machine.validate()
+        self.machine = machine
+        self.sim = sim if sim is not None else Simulator()
+        self.topology = build_topology(machine.network.topology)
+        self.routing = make_routing(machine.network.routing, self.topology)
+        self.engine = make_switching(self.sim, machine.network,
+                                     self.topology, self.routing,
+                                     self._on_delivery)
+        # Only endpoints (compute nodes) get NICs and drivers; switch
+        # nodes of multistage interconnects are routing-only.
+        self.nics = [NIC(self.sim, i, machine.network, self.engine.inject)
+                     for i in range(self.topology.n_endpoints)]
+        self.message_latency = TallyMonitor("message_latency")
+        self.activity = [NodeActivity(i)
+                         for i in range(self.topology.n_endpoints)]
+
+    @property
+    def n_nodes(self) -> int:
+        return self.topology.n_endpoints
+
+    # -- delivery plumbing ---------------------------------------------------
+
+    def _on_delivery(self, msg: Message) -> None:
+        self.message_latency.record(msg.latency)
+        if msg.on_deliver is not None:
+            # Protocol-internal traffic (VSM pages, invalidations, ...):
+            # handled by its own layer, never enters the application NIC.
+            msg.on_deliver(msg)
+            return
+        self.nics[msg.dst].arrival(msg)
+        if msg.synchronous:
+            self.nics[msg.src].sender_completion(msg)
+
+    # -- node driver -------------------------------------------------------------
+
+    def node_driver(self, node_id: int, ops: Iterator[Operation],
+                    payload_source=None, result_sink=None):
+        """Process body: execute one node's task-level operation stream.
+
+        ``payload_source()`` supplies the host payload of the send being
+        processed (execution-driven mode); ``result_sink(value)`` is
+        called after each communication operation with the received
+        payload (or None), so an interleaved node thread can be resumed
+        with it.
+        """
+        for op in ops:
+            yield from self.handle_op(node_id, op, payload_source,
+                                      result_sink)
+        self.activity[node_id].finish_time = self.sim.now
+
+    def handle_op(self, node_id: int, op: Operation,
+                  payload_source=None, result_sink=None):
+        """Process one task-level operation (generator; shared by the
+        plain driver and the VSM driver)."""
+        nic = self.nics[node_id]
+        act = self.activity[node_id]
+        cfg = self.machine.network
+        sim = self.sim
+        act.ops_processed += 1
+        if isinstance(op, RecvAnyEvent):
+            t0 = sim.now
+            msg = yield from nic.recv_any(op.sources)
+            waited = sim.now - t0
+            act.overhead_cycles += min(cfg.recv_overhead, waited)
+            act.recv_wait_cycles += max(waited - cfg.recv_overhead, 0.0)
+            if result_sink:
+                result_sink((msg.src, msg.payload))
+            return
+        code = op.code
+        if code == OpCode.COMPUTE:
+            act.compute_cycles += op.arg2
+            yield op.arg2
+        elif code == OpCode.SEND:
+            t0 = sim.now
+            payload = payload_source() if payload_source else None
+            yield from nic.send(op.peer, op.size, payload)
+            waited = sim.now - t0
+            act.overhead_cycles += min(cfg.send_overhead, waited)
+            act.send_wait_cycles += max(waited - cfg.send_overhead, 0.0)
+            if result_sink:
+                result_sink(None)
+        elif code == OpCode.ASEND:
+            t0 = sim.now
+            payload = payload_source() if payload_source else None
+            yield from nic.asend(op.peer, op.size, payload)
+            act.overhead_cycles += sim.now - t0
+            if result_sink:
+                result_sink(None)
+        elif code == OpCode.RECV:
+            t0 = sim.now
+            msg = yield from nic.recv(op.peer)
+            waited = sim.now - t0
+            act.overhead_cycles += min(cfg.recv_overhead, waited)
+            act.recv_wait_cycles += max(waited - cfg.recv_overhead, 0.0)
+            if result_sink:
+                result_sink(msg.payload)
+        elif code == OpCode.ARECV:
+            t0 = sim.now
+            msg = yield from nic.arecv(op.peer)
+            act.overhead_cycles += sim.now - t0
+            if result_sink:
+                result_sink(msg.payload if msg is not None else None)
+        else:
+            raise ValueError(
+                f"node {node_id}: computational operation {op!r} in a "
+                "task-level trace; run it through the hybrid model "
+                "(repro.hybrid) or extract tasks first")
+
+    # -- top-level run --------------------------------------------------------------
+
+    def run(self, per_node_ops: Sequence[Iterable[Operation]],
+            until: Optional[float] = None) -> CommResult:
+        """Simulate the machine driven by one op stream per node."""
+        if len(per_node_ops) != self.n_nodes:
+            raise ValueError(
+                f"expected {self.n_nodes} op streams (one per node), got "
+                f"{len(per_node_ops)}")
+        for node_id, ops in enumerate(per_node_ops):
+            self.sim.process(self.node_driver(node_id, iter(ops)),
+                             name=f"node{node_id}")
+        try:
+            self.sim.run(until=until, check_deadlock=True)
+        except DeadlockError as err:
+            raise DeadlockError(err.blocked) from None
+        return self.result()
+
+    def result(self) -> CommResult:
+        return CommResult(
+            self.machine, self.sim.now, self.activity, self.message_latency,
+            self.engine.summary(), self.engine.link_utilizations())
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"<MultiNodeModel {self.machine.name!r} "
+                f"n={self.n_nodes} {self.machine.network.switching}>")

@@ -1,0 +1,238 @@
+"""Switching strategies — "a configurable ... switching strategy" (Sec 4.2).
+
+Three classic multicomputer switching disciplines, all modelled at the
+packet level on top of the kernel's FIFO link resources:
+
+* **store-and-forward** — a packet is received completely at each router
+  before moving on; per-hop cost is the full packet serialization time.
+* **virtual cut-through** — a packet starts forwarding as soon as its
+  header has been routed; when blocked it is buffered entirely at the
+  blocking router (upstream links are freed while the body streams out).
+* **wormhole** — the header flit acquires links hop by hop and the body
+  streams through the held path; a blocked worm keeps its partial path
+  occupied (the characteristic wormhole behaviour).  On rings and tori
+  a second, *dateline* virtual channel breaks the dimensional cycles so
+  dimension-order wormhole routing stays deadlock-free.
+
+Each engine exposes ``inject(message)``; delivery is reported through a
+callback so the network model can hand the message to the destination's
+abstract processor.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..core.config import ConfigError, NetworkConfig
+from ..pearl import Simulator, TallyMonitor
+from ..topology import Topology
+from .link import Link
+from .message import Message, Packet
+from .routing import RoutingFunction
+
+__all__ = ["SwitchingEngine", "StoreAndForward", "VirtualCutThrough",
+           "Wormhole", "make_switching"]
+
+DeliverFn = Callable[[Message], None]
+
+
+class SwitchingEngine:
+    """Base class: owns the links and the packet-level statistics."""
+
+    #: virtual channels instantiated per link (overridden by Wormhole).
+    n_vcs = 1
+
+    def __init__(self, sim: Simulator, cfg: NetworkConfig, topo: Topology,
+                 routing: RoutingFunction, deliver: DeliverFn) -> None:
+        self.sim = sim
+        self.cfg = cfg
+        self.topo = topo
+        self.routing = routing
+        self.deliver = deliver
+        self.links: dict[tuple[int, int], Link] = {
+            (u, v): Link(sim, u, v, cfg, self.n_vcs,
+                         bandwidth_scale=topo.link_capacity(u, v))
+            for (u, v) in topo.links()}
+        self.packet_latency = TallyMonitor("packet_latency")
+        self.packet_hops = TallyMonitor("packet_hops")
+        self.messages_injected = 0
+        self.messages_delivered = 0
+
+    # -- public API -------------------------------------------------------
+
+    def inject(self, message: Message) -> None:
+        """Packetize ``message`` and launch one transfer process per packet."""
+        message.t_inject = self.sim.now
+        self.messages_injected += 1
+        if message.src == message.dst:
+            raise ConfigError(
+                f"message {message.id}: source equals destination "
+                f"({message.src})")
+        packets = message.split(self.cfg.packet_bytes, self.cfg.header_bytes)
+        for pkt in packets:
+            # Per-packet path: deterministic routers return the cached
+            # path, adaptive (random-minimal) routers sample a fresh one.
+            path = self.routing.path(message.src, message.dst)
+            self.sim.process(
+                self._packet_process(pkt, path),
+                name=f"pkt{message.id}.{pkt.index}")
+
+    # -- per-strategy transfer process --------------------------------------
+
+    def _packet_process(self, pkt: Packet, path: list[int]):
+        raise NotImplementedError
+
+    # -- shared helpers ---------------------------------------------------------
+
+    def _packet_done(self, pkt: Packet, t_start: float) -> None:
+        self.packet_latency.record(self.sim.now - t_start)
+        msg = pkt.message
+        if msg.packet_arrived():
+            msg.t_deliver = self.sim.now
+            self.messages_delivered += 1
+            self.deliver(msg)
+
+    def link_utilizations(self, horizon: Optional[float] = None) -> dict:
+        h = horizon if horizon is not None else self.sim.now
+        return {f"{u}->{v}": link.utilization(h)
+                for (u, v), link in self.links.items()}
+
+    def max_link_utilization(self, horizon: Optional[float] = None) -> float:
+        h = horizon if horizon is not None else self.sim.now
+        if not self.links:
+            return 0.0
+        return max(link.utilization(h) for link in self.links.values())
+
+    def summary(self) -> dict:
+        return {
+            "strategy": type(self).__name__,
+            "messages_injected": self.messages_injected,
+            "messages_delivered": self.messages_delivered,
+            "packet_latency": self.packet_latency.summary(),
+            "packet_hops": self.packet_hops.summary(),
+        }
+
+
+class StoreAndForward(SwitchingEngine):
+    """Full packet received at each hop before forwarding."""
+
+    def _packet_process(self, pkt: Packet, path: list[int]):
+        t0 = self.sim.now
+        self.packet_hops.record(len(path) - 1)
+        routing_cycles = self.cfg.routing_cycles
+        for i in range(len(path) - 1):
+            link = self.links[(path[i], path[i + 1])]
+            if routing_cycles:
+                yield routing_cycles
+            vc = link.vcs[0]
+            yield vc.acquire()
+            transfer = link.transfer_cycles(pkt.total_bytes)
+            link.account(pkt.total_bytes, transfer)
+            yield transfer
+            vc.release()
+            if link.latency:
+                yield link.latency
+        self._packet_done(pkt, t0)
+
+
+class VirtualCutThrough(SwitchingEngine):
+    """Forward on header arrival; buffer the whole packet when blocked."""
+
+    def _packet_process(self, pkt: Packet, path: list[int]):
+        t0 = self.sim.now
+        self.packet_hops.record(len(path) - 1)
+        cfg = self.cfg
+        body_bytes = max(pkt.total_bytes - cfg.header_bytes, 0)
+        for i in range(len(path) - 1):
+            link = self.links[(path[i], path[i + 1])]
+            if cfg.routing_cycles:
+                yield cfg.routing_cycles
+            vc = link.vcs[0]
+            yield vc.acquire()
+            header_t = link.transfer_cycles(cfg.header_bytes)
+            body_t = link.transfer_cycles(body_bytes)
+            link.account(pkt.total_bytes, header_t + body_t)
+            yield header_t
+            # The body streams behind the header: the link stays occupied
+            # for body_t more cycles, but this packet's header moves on.
+            if body_t > 0:
+                self.sim.timeout(body_t).add_callback(
+                    lambda _value, r=vc: r.release())
+            else:
+                vc.release()
+            if link.latency:
+                yield link.latency
+        # Tail arrival at the destination.
+        if body_bytes:
+            yield self.links[(path[-2], path[-1])].transfer_cycles(body_bytes)
+        self._packet_done(pkt, t0)
+
+
+class Wormhole(SwitchingEngine):
+    """Header flit reserves the path; body streams; tail releases.
+
+    Virtual channel 0 is the default; packets that cross a ring/torus
+    wraparound link switch to the dateline channel (VC 1) for the rest
+    of their path, which breaks the cyclic channel dependency and keeps
+    dimension-order wormhole routing deadlock-free.
+    """
+
+    n_vcs = 2
+
+    def _packet_process(self, pkt: Packet, path: list[int]):
+        t0 = self.sim.now
+        self.packet_hops.record(len(path) - 1)
+        cfg = self.cfg
+        held = []
+        vc_index = 0
+        last_link = None
+        try:
+            for i in range(len(path) - 1):
+                u, v = path[i], path[i + 1]
+                link = self.links[(u, v)]
+                last_link = link
+                if cfg.routing_cycles:
+                    yield cfg.routing_cycles
+                vc = link.vcs[vc_index]
+                yield vc.acquire()
+                held.append(vc)
+                # Header flit crosses this hop.
+                yield link.transfer_cycles(cfg.flit_bytes) + link.latency
+                if self.topo.is_wrap_edge(u, v):
+                    vc_index = 1
+            # Path is held end to end: stream the body (everything after
+            # the header flit) through the pipeline, at the bottleneck
+            # link's rate (links may differ, e.g. fat-tree levels).
+            body_bytes = max(pkt.total_bytes - cfg.flit_bytes, 0)
+            body_t = max(self.links[(path[i], path[i + 1])]
+                         .transfer_cycles(body_bytes)
+                         for i in range(len(path) - 1))
+            for i in range(len(path) - 1):
+                link = self.links[(path[i], path[i + 1])]
+                link.account(
+                    pkt.total_bytes,
+                    link.transfer_cycles(cfg.flit_bytes) + body_t)
+            if body_t:
+                yield body_t
+        finally:
+            # Tail flit passed: free the whole path.
+            for vc in held:
+                vc.release()
+        self._packet_done(pkt, t0)
+
+
+def make_switching(sim: Simulator, cfg: NetworkConfig, topo: Topology,
+                   routing: RoutingFunction,
+                   deliver: DeliverFn) -> SwitchingEngine:
+    """Build the engine named by ``NetworkConfig.switching``."""
+    engines = {
+        "store_and_forward": StoreAndForward,
+        "virtual_cut_through": VirtualCutThrough,
+        "wormhole": Wormhole,
+    }
+    try:
+        engine_cls = engines[cfg.switching]
+    except KeyError:
+        raise ConfigError(f"unknown switching strategy {cfg.switching!r}") \
+            from None
+    return engine_cls(sim, cfg, topo, routing, deliver)

@@ -1,0 +1,25 @@
+"""``repro.compmodel`` — the single-node computational model (Fig 3a).
+
+Simulates a MIMD node's processors and memory hierarchy at the level of
+abstract machine instructions: CPU (per-operation cycle costs), multi-
+level cache hierarchy (tags only), bus with arbitration, and a simple
+DRAM.  Also hosts the hybrid model's task extractor (Fig 2).
+"""
+
+from .bus import Bus
+from .cache import Cache, CacheStats, LineState
+from .coherence import CoherenceStats, SnoopyCoherence
+from .cpu import CPU, CPUStats
+from .directory import DirectoryCoherence, DirectoryStats
+from .hierarchy import AccessKind, CacheHierarchy
+from .memory import DRAM
+from .node import NodeResult, SingleNodeModel
+from .tasks import TaskExtractionStats, extract_tasks
+
+__all__ = [
+    "AccessKind", "Bus", "CPU", "CPUStats", "Cache", "CacheHierarchy",
+    "CacheStats", "CoherenceStats", "DRAM", "DirectoryCoherence",
+    "DirectoryStats", "SnoopyCoherence",
+    "LineState", "NodeResult", "SingleNodeModel",
+    "TaskExtractionStats", "extract_tasks",
+]

@@ -1,0 +1,30 @@
+"""``repro.core`` — configuration, the workbench facade, and experiments.
+
+The paper's primary contribution packaged for use: machine
+parameterization (:mod:`~repro.core.config`), the top-level
+:class:`Workbench` covering every simulation mode, parameter sweeps
+(:class:`Sweep`), and persistable experiment records.
+"""
+
+from .config import (
+    BusConfig,
+    CPUConfig,
+    CacheConfig,
+    CacheLevelConfig,
+    ConfigError,
+    MachineConfig,
+    MemoryConfig,
+    NetworkConfig,
+    NodeConfig,
+    TopologyConfig,
+)
+from .experiment import Sweep, vary_machine
+from .results import ExperimentRecord
+from .workbench import Workbench
+
+__all__ = [
+    "BusConfig", "CPUConfig", "CacheConfig", "CacheLevelConfig",
+    "ConfigError", "ExperimentRecord", "MachineConfig", "MemoryConfig",
+    "NetworkConfig", "NodeConfig", "Sweep", "TopologyConfig", "Workbench",
+    "vary_machine",
+]

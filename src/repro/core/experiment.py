@@ -1,0 +1,88 @@
+"""Design-space experiments: parameter sweeps over machine configs.
+
+The workbench's purpose is "the evaluation of a wide range of
+architectural design tradeoffs"; a :class:`Sweep` varies one or more
+machine parameters across values, runs the same workload on each
+variant, and collects metric rows for the report/benchmark layer.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Any, Callable, Iterable, Sequence
+
+from .config import MachineConfig
+
+__all__ = ["Sweep", "vary_machine"]
+
+Mutator = Callable[[MachineConfig, Any], None]
+Runner = Callable[[MachineConfig], dict]
+
+
+def vary_machine(base: MachineConfig, mutator: Mutator,
+                 values: Iterable[Any]) -> list[MachineConfig]:
+    """One machine variant per value; the base config is never mutated.
+
+    ``mutator(machine, value)`` edits the deep-copied variant in place;
+    each variant is re-validated.
+    """
+    variants = []
+    for value in values:
+        machine = copy.deepcopy(base)
+        mutator(machine, value)
+        machine.validate()
+        variants.append(machine)
+    return variants
+
+
+class Sweep:
+    """A one-or-more-axis parameter sweep.
+
+    ::
+
+        sweep = Sweep(base_machine)
+        sweep.axis("l1_kib", set_l1_size, [8, 16, 32, 64])
+        rows = sweep.run(lambda m: {"cycles": wb(m).run_...})
+    """
+
+    def __init__(self, base: MachineConfig, label: str = "") -> None:
+        base.validate()
+        self.base = base
+        self.label = label or base.name
+        self._axes: list[tuple[str, Mutator, Sequence[Any]]] = []
+
+    def axis(self, name: str, mutator: Mutator,
+             values: Sequence[Any]) -> "Sweep":
+        """Add a sweep axis (axes combine as a cross product)."""
+        if not values:
+            raise ValueError(f"axis {name!r} has no values")
+        self._axes.append((name, mutator, list(values)))
+        return self
+
+    def points(self) -> list[tuple[dict, MachineConfig]]:
+        """All (coordinates, machine-variant) pairs of the cross product."""
+        points: list[tuple[dict, MachineConfig]] = [({},
+                                                     copy.deepcopy(self.base))]
+        for name, mutator, values in self._axes:
+            nxt = []
+            for coords, machine in points:
+                for value in values:
+                    variant = copy.deepcopy(machine)
+                    mutator(variant, value)
+                    nxt.append(({**coords, name: value}, variant))
+            points = nxt
+        for _, machine in points:
+            machine.validate()
+        return points
+
+    def run(self, runner: Runner) -> list[dict]:
+        """Run ``runner(machine) -> metrics`` at every point.
+
+        Returns one row per point: sweep coordinates merged with the
+        runner's metric dict.
+        """
+        rows = []
+        for coords, machine in self.points():
+            metrics = runner(machine)
+            rows.append({**coords, **metrics})
+        return rows

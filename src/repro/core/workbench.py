@@ -1,0 +1,150 @@
+"""The workbench facade — Fig 1's layering as one entry point.
+
+"Mermaid effectively offers a workbench for computer architects
+designing multicomputer systems, supporting the performance evaluation
+of a wide range of architectural design options by means of
+parameterization."
+
+A :class:`Workbench` binds one :class:`~repro.core.config.MachineConfig`
+and exposes every simulation mode:
+
+=====================  ======================================  ============
+mode                   input (application level)               accuracy/cost
+=====================  ======================================  ============
+``run_hybrid``         instrumented program (live threads)     highest
+``run_mixed_traces``   recorded instruction-level traces       high
+``run_comm_only``      task-level traces                       fast
+``run_stochastic``     probabilistic description               fastest
+``run_single_node``    computational trace, one node           node studies
+``run_smp``            per-CPU traces, one shared-memory node  SMP studies
+=====================  ======================================  ============
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional, Sequence, Union
+
+from ..commmodel.network import CommResult, MultiNodeModel
+from ..compmodel.node import NodeResult, SingleNodeModel
+from ..hybrid.model import HybridModel, HybridResult
+from ..operations.ops import Operation
+from ..operations.trace import TraceSet
+from ..operations.validate import validate_trace_set
+from ..sharedmem.hybridarch import HybridArchitectureModel, HybridArchResult
+from ..sharedmem.smp import SMPNodeModel, SMPResult
+from ..tracegen.descriptions import StochasticAppDescription
+from ..tracegen.stochastic import StochasticGenerator
+from .config import MachineConfig
+
+__all__ = ["Workbench"]
+
+
+class Workbench:
+    """One machine configuration, every simulation mode.
+
+    Each ``run_*`` call builds a fresh model (simulations are
+    independent); the config object itself is never mutated.
+    """
+
+    def __init__(self, machine: MachineConfig) -> None:
+        machine.validate()
+        self.machine = machine
+
+    @property
+    def n_nodes(self) -> int:
+        return self.machine.n_nodes
+
+    # -- accurate mode (Fig 2 hybrid) -------------------------------------
+
+    def run_hybrid(self, application) -> HybridResult:
+        """Execution-driven hybrid simulation of an instrumented program.
+
+        ``application`` is a :class:`~repro.apps.api.ThreadedApplication`
+        or a plain ``program(ctx)`` callable (run SPMD on every node).
+        """
+        from ..apps.api import ThreadedApplication
+        if callable(application) and not isinstance(application,
+                                                    ThreadedApplication):
+            application = ThreadedApplication(application, self.n_nodes)
+        model = HybridModel(self.machine)
+        return model.run_application(application)
+
+    def run_mixed_traces(self, traces: Union[TraceSet, Sequence[Iterable[Operation]]],
+                         validate: bool = False) -> HybridResult:
+        """Hybrid simulation from pre-recorded mixed traces."""
+        if validate and isinstance(traces, TraceSet):
+            validate_trace_set(traces)
+        model = HybridModel(self.machine)
+        return model.run_traces(traces)
+
+    # -- fast prototyping (communication model only) ---------------------------
+
+    def run_comm_only(self, task_traces: Union[TraceSet,
+                                               Sequence[Iterable[Operation]]]
+                      ) -> CommResult:
+        """Task-level simulation: "the communication model ... directly"."""
+        model = MultiNodeModel(self.machine)
+        return model.run(list(task_traces))
+
+    def run_stochastic(self, desc: StochasticAppDescription,
+                       level: str = "task", *, rounds: int = 50,
+                       ops_per_node: int = 20000, seed: int = 0
+                       ) -> Union[CommResult, HybridResult]:
+        """Stochastic workload through either abstraction level (Fig 4)."""
+        gen = StochasticGenerator(desc, self.n_nodes, seed=seed)
+        if level == "task":
+            return self.run_comm_only(gen.generate_task_level(rounds))
+        if level == "instruction":
+            return self.run_mixed_traces(
+                gen.generate_instruction_level(ops_per_node))
+        raise ValueError(f"unknown level {level!r}; use 'task' or "
+                         "'instruction'")
+
+    # -- node-level studies -------------------------------------------------------
+
+    def run_single_node(self, ops: Iterable[Operation]) -> NodeResult:
+        """Computational trace on one instance of the node template."""
+        node = SingleNodeModel(self.machine.node)
+        return node.run_trace(ops)
+
+    def run_smp(self, per_cpu_ops: Sequence[Iterable[Operation]]
+                ) -> SMPResult:
+        """Shared-memory simulation of one multi-CPU node (Sec 4.3)."""
+        smp = SMPNodeModel(self.machine.node)
+        return smp.run_traces(per_cpu_ops)
+
+    def run_smp_cluster(self,
+                        per_node_per_cpu_ops: Sequence[Sequence[Iterable[Operation]]]
+                        ) -> HybridArchResult:
+        """Hybrid architecture: SMP nodes over the message network."""
+        model = HybridArchitectureModel(self.machine)
+        return model.run_traces(per_node_per_cpu_ops)
+
+    # -- virtual shared memory (Sec 5.1 future work) ------------------------
+
+    def run_vsm(self, application, vsm_config=None):
+        """Hybrid simulation with the virtual-shared-memory layer.
+
+        ``application`` programs use :class:`repro.vsm.SharedRegion`
+        instead of explicit message passing.
+        """
+        from ..apps.api import ThreadedApplication
+        from ..vsm import VSMModel
+        if callable(application) and not isinstance(application,
+                                                    ThreadedApplication):
+            application = ThreadedApplication(application, self.n_nodes)
+        model = VSMModel(self.machine, vsm_config)
+        return model.run_application(application)
+
+    # -- trace recording -----------------------------------------------------------
+
+    def record_traces(self, application) -> TraceSet:
+        """Execute an instrumented program logically; return its traces."""
+        from ..apps.api import ThreadedApplication
+        if callable(application) and not isinstance(application,
+                                                    ThreadedApplication):
+            application = ThreadedApplication(application, self.n_nodes)
+        return application.record()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Workbench {self.machine.name!r} nodes={self.n_nodes}>"

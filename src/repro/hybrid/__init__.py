@@ -1,0 +1,13 @@
+"""``repro.hybrid`` — the hybrid model (Fig 2): accurate co-simulation.
+
+Replicated single-node computational models feed computational tasks
+and communication operations to the multi-node communication model,
+with execution-driven trace generation interleaved into the same event
+kernel (physical-time interleaving).
+"""
+
+from .model import HybridModel, HybridResult
+from .scheduler import make_node_pipeline, stream_hooks
+
+__all__ = ["HybridModel", "HybridResult", "make_node_pipeline",
+           "stream_hooks"]

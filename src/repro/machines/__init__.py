@@ -1,0 +1,26 @@
+"""``repro.machines`` — machine presets and parameter calibration.
+
+Preset parameter sets for the paper's reference targets (a T805
+transputer grid and a PowerPC 601 node with two cache levels) plus
+micro-benchmarks that fit effective parameters back out of the models.
+"""
+
+from .calibration import (
+    CalibrationReport,
+    calibrate,
+    measure_arithmetic_throughput,
+    measure_link_parameters,
+    measure_memory_latencies,
+)
+from .presets import (
+    generic_multicomputer,
+    powerpc601_node,
+    smp_node,
+    t805_grid,
+)
+
+__all__ = [
+    "CalibrationReport", "calibrate", "generic_multicomputer",
+    "measure_arithmetic_throughput", "measure_link_parameters",
+    "measure_memory_latencies", "powerpc601_node", "smp_node", "t805_grid",
+]

@@ -1,0 +1,278 @@
+"""Operations — the abstract machine instructions of Table 1.
+
+Traces driving the Mermaid simulators are sequences of *operations*
+representing "processor activity, memory I/O, or message-passing".
+The set below reproduces Table 1 of the paper exactly:
+
+========================  =====================================
+Computational             load(mem-type, address),
+                          store(mem-type, address)      — memory
+                          load([f]constant)             — immediates
+                          add/sub/mul/div(type)         — arithmetic
+                          ifetch(address), branch(address),
+                          call(address), ret(address)   — instr. fetch
+Communication             send(size, dest), recv(source)  — synchronous
+                          asend(size, dest), arecv(source)— asynchronous
+                          compute(duration)               — task level
+========================  =====================================
+
+Operations are deliberately register-less: the trace generator has
+already evaluated all control flow and addressing, so the simulator
+only needs what affects *time* (Section 3.3 of the paper).
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum
+from typing import Union
+
+from .optypes import ArithType, MemType
+
+__all__ = [
+    "OpCode", "Operation",
+    "load", "store", "load_const", "add", "sub", "mul", "div",
+    "ifetch", "branch", "call", "ret",
+    "send", "recv", "asend", "arecv", "compute",
+    "COMPUTATIONAL_OPS", "COMMUNICATION_OPS", "MEMORY_OPS",
+    "ARITHMETIC_OPS", "CONTROL_OPS", "GLOBAL_EVENT_OPS",
+]
+
+
+class OpCode(IntEnum):
+    """Discriminator for the sixteen Table-1 operations."""
+
+    # -- computational (single-node model) --
+    LOAD = 0
+    STORE = 1
+    LOADC = 2          # load([f]constant)
+    ADD = 3
+    SUB = 4
+    MUL = 5
+    DIV = 6
+    IFETCH = 7
+    BRANCH = 8
+    CALL = 9
+    RET = 10
+    # -- communication (multi-node model) --
+    SEND = 11          # synchronous (blocking)
+    RECV = 12
+    ASEND = 13         # asynchronous (non-blocking)
+    ARECV = 14
+    COMPUTE = 15       # task-level computation
+
+
+#: Op codes consumed by the single-node computational model.
+COMPUTATIONAL_OPS = frozenset({
+    OpCode.LOAD, OpCode.STORE, OpCode.LOADC, OpCode.ADD, OpCode.SUB,
+    OpCode.MUL, OpCode.DIV, OpCode.IFETCH, OpCode.BRANCH, OpCode.CALL,
+    OpCode.RET,
+})
+
+#: Op codes consumed by the multi-node communication model.
+COMMUNICATION_OPS = frozenset({
+    OpCode.SEND, OpCode.RECV, OpCode.ASEND, OpCode.ARECV, OpCode.COMPUTE,
+})
+
+#: Ops that reference the data-memory hierarchy.
+MEMORY_OPS = frozenset({OpCode.LOAD, OpCode.STORE})
+
+#: Register-to-register arithmetic.
+ARITHMETIC_OPS = frozenset({OpCode.ADD, OpCode.SUB, OpCode.MUL, OpCode.DIV})
+
+#: Instruction-fetch related ops (the third Table-1 category).
+CONTROL_OPS = frozenset({OpCode.IFETCH, OpCode.BRANCH, OpCode.CALL, OpCode.RET})
+
+#: Global events: operations that may affect other processors and at which
+#: a trace-generating thread must suspend (physical-time interleaving).
+GLOBAL_EVENT_OPS = frozenset({OpCode.SEND, OpCode.RECV, OpCode.ASEND,
+                              OpCode.ARECV})
+
+
+class Operation:
+    """One trace event.  Compact (4 slots) because traces hold millions.
+
+    The meaning of ``dtype``/``arg``/``arg2`` depends on :attr:`code`;
+    use the factory functions (:func:`load`, :func:`send`, ...) to build
+    operations and the named properties (:attr:`address`, :attr:`size`,
+    :attr:`peer`, :attr:`duration`, ...) to read them.
+    """
+
+    __slots__ = ("code", "dtype", "arg", "arg2")
+
+    def __init__(self, code: OpCode, dtype: int = 0,
+                 arg: int = 0, arg2: float = 0.0) -> None:
+        self.code = code
+        self.dtype = dtype
+        self.arg = arg
+        self.arg2 = arg2
+
+    # -- typed accessors -------------------------------------------------
+
+    @property
+    def mem_type(self) -> MemType:
+        """Datum type of a LOAD/STORE/LOADC."""
+        return MemType(self.dtype)
+
+    @property
+    def arith_type(self) -> ArithType:
+        """Operand class of an ADD/SUB/MUL/DIV."""
+        return ArithType(self.dtype)
+
+    @property
+    def address(self) -> int:
+        """Byte address of a memory access or instruction fetch."""
+        return self.arg
+
+    @property
+    def peer(self) -> int:
+        """Destination (sends) or source (receives) node id."""
+        return self.arg
+
+    @property
+    def size(self) -> int:
+        """Message size in bytes (SEND/ASEND)."""
+        return int(self.arg2)
+
+    @property
+    def duration(self) -> float:
+        """Task duration in cycles (COMPUTE)."""
+        return self.arg2
+
+    @property
+    def is_global_event(self) -> bool:
+        return self.code in GLOBAL_EVENT_OPS
+
+    @property
+    def is_communication(self) -> bool:
+        return self.code in COMMUNICATION_OPS
+
+    # -- value semantics ----------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        return (isinstance(other, Operation)
+                and self.code == other.code
+                and self.dtype == other.dtype
+                and self.arg == other.arg
+                and self.arg2 == other.arg2)
+
+    def __hash__(self) -> int:
+        return hash((self.code, self.dtype, self.arg, self.arg2))
+
+    def to_tuple(self) -> tuple:
+        """Lossless plain-tuple encoding (see :mod:`repro.operations.trace`)."""
+        return (int(self.code), self.dtype, self.arg, self.arg2)
+
+    @classmethod
+    def from_tuple(cls, t: tuple) -> "Operation":
+        return cls(OpCode(t[0]), t[1], t[2], t[3])
+
+    def __repr__(self) -> str:
+        code = self.code
+        if code in MEMORY_OPS:
+            return f"{code.name.lower()}({self.mem_type.name}, {self.arg:#x})"
+        if code is OpCode.LOADC:
+            return f"loadc({self.mem_type.name})"
+        if code in ARITHMETIC_OPS:
+            return f"{code.name.lower()}({self.arith_type.name})"
+        if code in CONTROL_OPS:
+            return f"{code.name.lower()}({self.arg:#x})"
+        if code in (OpCode.SEND, OpCode.ASEND):
+            return f"{code.name.lower()}(size={self.size}, dest={self.arg})"
+        if code in (OpCode.RECV, OpCode.ARECV):
+            return f"{code.name.lower()}(source={self.arg})"
+        return f"compute(duration={self.arg2:g})"
+
+
+# ---------------------------------------------------------------------------
+# Factory functions (the public way to build operations)
+# ---------------------------------------------------------------------------
+
+def load(mem_type: MemType, address: int) -> Operation:
+    """``load(mem-type, address)`` — read a datum from the memory hierarchy."""
+    return Operation(OpCode.LOAD, int(mem_type), address)
+
+
+def store(mem_type: MemType, address: int) -> Operation:
+    """``store(mem-type, address)`` — write a datum to the memory hierarchy."""
+    return Operation(OpCode.STORE, int(mem_type), address)
+
+
+def load_const(mem_type: MemType = MemType.INT32) -> Operation:
+    """``load([f]constant)`` — load an immediate into a register."""
+    return Operation(OpCode.LOADC, int(mem_type))
+
+
+def add(arith_type: ArithType = ArithType.INT) -> Operation:
+    """``add(type)`` — register-to-register addition."""
+    return Operation(OpCode.ADD, int(arith_type))
+
+
+def sub(arith_type: ArithType = ArithType.INT) -> Operation:
+    """``sub(type)`` — register-to-register subtraction."""
+    return Operation(OpCode.SUB, int(arith_type))
+
+
+def mul(arith_type: ArithType = ArithType.INT) -> Operation:
+    """``mul(type)`` — register-to-register multiplication."""
+    return Operation(OpCode.MUL, int(arith_type))
+
+
+def div(arith_type: ArithType = ArithType.INT) -> Operation:
+    """``div(type)`` — register-to-register division."""
+    return Operation(OpCode.DIV, int(arith_type))
+
+
+def ifetch(address: int) -> Operation:
+    """``ifetch(address)`` — fetch the instruction at ``address``.
+
+    The trace generator evaluates loops and branches, so each executed
+    instruction produces its own ifetch and loop bodies recur at the
+    same addresses (Section 3.3).
+    """
+    return Operation(OpCode.IFETCH, 0, address)
+
+
+def branch(address: int) -> Operation:
+    """``branch(address)`` — taken control transfer to ``address``."""
+    return Operation(OpCode.BRANCH, 0, address)
+
+
+def call(address: int) -> Operation:
+    """``call(address)`` — procedure call to ``address``."""
+    return Operation(OpCode.CALL, 0, address)
+
+
+def ret(address: int) -> Operation:
+    """``ret(address)`` — return to ``address``."""
+    return Operation(OpCode.RET, 0, address)
+
+
+def send(size: int, dest: int) -> Operation:
+    """``send(message-size, destination)`` — synchronous (blocking) send."""
+    if size < 0:
+        raise ValueError(f"negative message size {size}")
+    return Operation(OpCode.SEND, 0, dest, float(size))
+
+
+def recv(source: int) -> Operation:
+    """``recv(source)`` — synchronous (blocking) receive."""
+    return Operation(OpCode.RECV, 0, source)
+
+
+def asend(size: int, dest: int) -> Operation:
+    """``asend(message-size, destination)`` — asynchronous send."""
+    if size < 0:
+        raise ValueError(f"negative message size {size}")
+    return Operation(OpCode.ASEND, 0, dest, float(size))
+
+
+def arecv(source: int) -> Operation:
+    """``arecv(source)`` — asynchronous receive."""
+    return Operation(OpCode.ARECV, 0, source)
+
+
+def compute(duration: float) -> Operation:
+    """``compute(duration)`` — a task-level computational delay in cycles."""
+    if duration < 0:
+        raise ValueError(f"negative compute duration {duration}")
+    return Operation(OpCode.COMPUTE, 0, 0, float(duration))

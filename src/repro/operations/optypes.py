@@ -1,0 +1,56 @@
+"""Type vocabulary for Mermaid operations.
+
+The computational operations of Table 1 are "abstract machine
+instructions ... based on a load-store architecture".  Memory accesses
+carry a *mem-type* (the width/kind of the datum) and arithmetic
+operations carry an arithmetic *type*; both abstract over the concrete
+ISA so one simulator serves many processors.
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum
+
+__all__ = ["MemType", "ArithType", "MEM_TYPE_BYTES"]
+
+
+class MemType(IntEnum):
+    """Width/kind of a datum moved between registers and memory."""
+
+    INT8 = 0
+    INT16 = 1
+    INT32 = 2
+    INT64 = 3
+    FLOAT32 = 4
+    FLOAT64 = 5
+
+    @property
+    def nbytes(self) -> int:
+        return MEM_TYPE_BYTES[self]
+
+    @property
+    def is_float(self) -> bool:
+        return self in (MemType.FLOAT32, MemType.FLOAT64)
+
+
+#: Datum size in bytes, indexed by :class:`MemType` value.
+MEM_TYPE_BYTES: dict["MemType", int] = {
+    MemType.INT8: 1,
+    MemType.INT16: 2,
+    MemType.INT32: 4,
+    MemType.INT64: 8,
+    MemType.FLOAT32: 4,
+    MemType.FLOAT64: 8,
+}
+
+
+class ArithType(IntEnum):
+    """Operand class of a register-to-register arithmetic operation."""
+
+    INT = 0
+    FLOAT = 1     # single precision
+    DOUBLE = 2    # double precision
+
+    @property
+    def is_float(self) -> bool:
+        return self is not ArithType.INT

@@ -1,0 +1,101 @@
+"""Trace validation — structural well-formedness checks.
+
+The architecture simulators assume traces obey the Table-1 contract
+(non-negative sizes, valid peers, matched synchronous communication).
+These checks run in tests and optionally before a simulation; they catch
+generator bugs early instead of deep inside a model.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from .ops import OpCode, Operation
+from .trace import Trace, TraceSet
+
+__all__ = ["ValidationError", "validate_trace", "validate_trace_set",
+           "communication_matrix"]
+
+
+class ValidationError(ValueError):
+    """A trace violates the operation contract."""
+
+
+def validate_trace(trace: Trace, n_nodes: Optional[int] = None) -> None:
+    """Check a single node's trace.
+
+    * sizes and durations non-negative;
+    * peers within ``[0, n_nodes)`` when ``n_nodes`` is given;
+    * no self-communication (a node never sends to / receives from itself);
+    * addresses non-negative.
+    """
+    node = trace.node
+    for i, op in enumerate(trace):
+        code = op.code
+        if code in (OpCode.SEND, OpCode.ASEND):
+            if op.size < 0:
+                raise ValidationError(f"node {node} op {i}: negative size")
+            _check_peer(node, op.peer, n_nodes, i)
+        elif code in (OpCode.RECV, OpCode.ARECV):
+            _check_peer(node, op.peer, n_nodes, i)
+        elif code is OpCode.COMPUTE:
+            if op.duration < 0:
+                raise ValidationError(
+                    f"node {node} op {i}: negative compute duration")
+        elif code in (OpCode.LOAD, OpCode.STORE, OpCode.IFETCH,
+                      OpCode.BRANCH, OpCode.CALL, OpCode.RET):
+            if op.address < 0:
+                raise ValidationError(
+                    f"node {node} op {i}: negative address {op.address}")
+
+
+def _check_peer(node: int, peer: int, n_nodes: Optional[int], i: int) -> None:
+    if peer == node:
+        raise ValidationError(f"node {node} op {i}: self-communication")
+    if peer < 0 or (n_nodes is not None and peer >= n_nodes):
+        raise ValidationError(
+            f"node {node} op {i}: peer {peer} out of range")
+
+
+def validate_trace_set(traces: TraceSet, check_matched: bool = True) -> None:
+    """Validate every trace and, optionally, communication matching.
+
+    Matching check: for every ordered pair (src, dst), the number of
+    messages sent from src to dst equals the number of receives posted
+    at dst naming src.  (Unmatched synchronous communication deadlocks
+    the simulation; this is the static version of that check, valid
+    because Mermaid receives name their source explicitly.)
+    """
+    n = len(traces)
+    for t in traces:
+        validate_trace(t, n_nodes=n)
+    if not check_matched:
+        return
+    sends, recvs = communication_matrix(traces)
+    for src in range(n):
+        for dst in range(n):
+            if sends[src][dst] != recvs[src][dst]:
+                raise ValidationError(
+                    f"unmatched communication {src}->{dst}: "
+                    f"{sends[src][dst]} send(s) vs {recvs[src][dst]} recv(s)")
+
+
+def communication_matrix(traces: Iterable[Trace]) -> tuple[list, list]:
+    """Return ``(sends, recvs)`` matrices.
+
+    ``sends[src][dst]`` counts messages src sends to dst;
+    ``recvs[src][dst]`` counts receives posted at dst naming src.
+    """
+    ts = list(traces)
+    n = len(ts)
+    sends = [[0] * n for _ in range(n)]
+    recvs = [[0] * n for _ in range(n)]
+    for t in ts:
+        for op in t:
+            if op.code in (OpCode.SEND, OpCode.ASEND):
+                if 0 <= op.peer < n:
+                    sends[t.node][op.peer] += 1
+            elif op.code in (OpCode.RECV, OpCode.ARECV):
+                if 0 <= op.peer < n:
+                    recvs[op.peer][t.node] += 1
+    return sends, recvs

@@ -1,0 +1,43 @@
+"""``repro.pearl`` — the Pearl-style discrete-event simulation kernel.
+
+Mermaid's architecture models were implemented in Pearl, "an
+object-oriented simulation language ... especially designed for easily
+and flexibly implementing simulation models of computer architectures"
+(Muller, 1993).  This package provides the equivalent substrate in
+Python:
+
+* :class:`Simulator` — virtual clock and deterministic event list;
+* :class:`Process` / :class:`Event` — generator-based simulation objects;
+* :class:`Channel` — synchronous (rendezvous) and asynchronous messages;
+* :class:`Resource` — FIFO-arbitrated shared hardware (buses, links);
+* :class:`TallyMonitor` / :class:`TimeWeightedMonitor` — statistics.
+"""
+
+from .channel import Channel
+from .errors import (
+    ChannelClosedError,
+    DeadlockError,
+    PearlError,
+    ProcessKilledError,
+    SimTimeError,
+    SimulationError,
+)
+from .kernel import Event, Process, Simulator
+from .monitor import TallyMonitor, TimeWeightedMonitor
+from .resource import Resource
+
+__all__ = [
+    "Channel",
+    "ChannelClosedError",
+    "DeadlockError",
+    "Event",
+    "PearlError",
+    "Process",
+    "ProcessKilledError",
+    "Resource",
+    "SimTimeError",
+    "SimulationError",
+    "Simulator",
+    "TallyMonitor",
+    "TimeWeightedMonitor",
+]

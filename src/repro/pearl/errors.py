@@ -1,0 +1,45 @@
+"""Exception hierarchy for the Pearl simulation kernel.
+
+Pearl was the object-oriented simulation language used by Mermaid to
+express its architecture models.  This package reimplements Pearl's
+modelling primitives (simulation objects, virtual time, synchronous and
+asynchronous messages) as a generator-based discrete-event kernel; the
+exceptions below are the kernel's failure vocabulary.
+"""
+
+from __future__ import annotations
+
+
+class PearlError(Exception):
+    """Base class for all kernel errors."""
+
+
+class SimulationError(PearlError):
+    """A structural error in the simulation (bad yield, dead process, ...)."""
+
+
+class DeadlockError(SimulationError):
+    """The event queue drained while processes were still blocked.
+
+    Carries the list of blocked process names so models can report which
+    components were waiting (e.g. a ``recv`` with no matching ``send``).
+    """
+
+    def __init__(self, blocked: list[str]):
+        self.blocked = list(blocked)
+        super().__init__(
+            "simulation deadlock: no pending events but %d process(es) "
+            "blocked: %s" % (len(blocked), ", ".join(blocked))
+        )
+
+
+class ChannelClosedError(SimulationError):
+    """Receive on a channel that was closed and fully drained."""
+
+
+class ProcessKilledError(PearlError):
+    """Raised *inside* a process generator when it is killed externally."""
+
+
+class SimTimeError(SimulationError):
+    """An attempt to schedule an event in the past or with a negative delay."""

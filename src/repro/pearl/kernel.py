@@ -1,0 +1,350 @@
+"""The Pearl discrete-event simulation kernel.
+
+Mermaid's architecture models were written in Pearl, an object-oriented
+simulation language in which architecture components are objects that
+exchange messages in virtual time.  This module is the Python substrate
+for those models: a deterministic discrete-event kernel in which each
+simulation object is a Python generator ("process") scheduled on a
+binary-heap event list.
+
+Yield protocol
+--------------
+A process generator may ``yield``:
+
+* a non-negative number — hold (advance local time) for that many time
+  units;
+* an :class:`Event` — block until the event is triggered; the value the
+  event was triggered with becomes the value of the ``yield`` expression;
+* ``None`` — yield control and be resumed at the same simulated time
+  (after already-scheduled events at this time).
+
+Determinism: ties in simulated time are broken by a global monotone
+sequence number, so identical programs produce identical schedules.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, Optional
+
+from .errors import (
+    DeadlockError,
+    ProcessKilledError,
+    SimTimeError,
+    SimulationError,
+)
+
+__all__ = ["Event", "Process", "Simulator"]
+
+
+class Event:
+    """A one-shot condition processes can block on.
+
+    An event starts untriggered.  :meth:`trigger` marks it triggered with
+    a value and resumes (via the scheduler, preserving FIFO order) every
+    process currently waiting on it.  A process that yields an
+    already-triggered event resumes immediately with the stored value.
+    """
+
+    __slots__ = ("sim", "name", "triggered", "value", "_waiters", "_callbacks")
+
+    def __init__(self, sim: "Simulator", name: str = "") -> None:
+        self.sim = sim
+        self.name = name
+        self.triggered = False
+        self.value: Any = None
+        self._waiters: list["Process"] = []
+        self._callbacks: list[Callable[[Any], None]] = []
+
+    def trigger(self, value: Any = None) -> None:
+        """Trigger the event, waking all waiters at the current time."""
+        if self.triggered:
+            raise SimulationError(f"event {self.name!r} triggered twice")
+        self.triggered = True
+        self.value = value
+        sim = self.sim
+        for proc in self._waiters:
+            sim._schedule(sim.now, proc, value)
+        self._waiters.clear()
+        for cb in self._callbacks:
+            cb(value)
+        self._callbacks.clear()
+
+    def add_callback(self, fn: Callable[[Any], None]) -> None:
+        """Call ``fn(value)`` when the event triggers (immediately if it has)."""
+        if self.triggered:
+            fn(self.value)
+        else:
+            self._callbacks.append(fn)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "triggered" if self.triggered else "pending"
+        return f"<Event {self.name!r} {state}>"
+
+
+class Process:
+    """A simulation process wrapping a generator.
+
+    Created through :meth:`Simulator.process`.  The process starts at the
+    simulation time current when it was created (it is scheduled, not run
+    inline).  When the generator returns, :attr:`result` holds its return
+    value and :attr:`terminated` (an :class:`Event`) is triggered with it.
+    """
+
+    __slots__ = ("sim", "name", "gen", "terminated", "alive", "result",
+                 "_scheduled", "_blocked_on")
+
+    def __init__(self, sim: "Simulator", gen: Generator, name: str) -> None:
+        self.sim = sim
+        self.name = name
+        self.gen = gen
+        self.terminated = Event(sim, f"{name}.terminated")
+        self.alive = True
+        self.result: Any = None
+        self._scheduled = False      # has a pending resume on the event heap
+        self._blocked_on: Optional[Event] = None
+
+    # -- scheduling ------------------------------------------------------
+
+    def _step(self, value: Any) -> None:
+        """Advance the generator one step and interpret what it yields."""
+        self._scheduled = False
+        self._blocked_on = None
+        sim = self.sim
+        try:
+            item = self.gen.send(value)
+        except StopIteration as stop:
+            self.alive = False
+            self.result = stop.value
+            sim._live -= 1
+            self.terminated.trigger(stop.value)
+            return
+        except ProcessKilledError:
+            self.alive = False
+            sim._live -= 1
+            self.terminated.trigger(None)
+            return
+        # Dispatch on the yielded item.  Numbers are by far the hot case.
+        if item is None:
+            sim._schedule(sim.now, self, None)
+        elif isinstance(item, Event):
+            if item.triggered:
+                sim._schedule(sim.now, self, item.value)
+            else:
+                item._waiters.append(self)
+                self._blocked_on = item
+        else:
+            try:
+                delay = float(item)
+            except (TypeError, ValueError):
+                raise SimulationError(
+                    f"process {self.name!r} yielded unsupported value "
+                    f"{item!r}"
+                ) from None
+            if delay < 0:
+                raise SimTimeError(
+                    f"process {self.name!r} yielded negative delay {delay}"
+                )
+            sim._schedule(sim.now + delay, self, None)
+
+    def kill(self) -> None:
+        """Terminate the process by throwing :class:`ProcessKilledError` into it."""
+        if not self.alive:
+            return
+        # Detach from whatever it is waiting on.
+        if self._blocked_on is not None:
+            try:
+                self._blocked_on._waiters.remove(self)
+            except ValueError:
+                pass
+            self._blocked_on = None
+        try:
+            self.gen.throw(ProcessKilledError())
+        except (ProcessKilledError, StopIteration):
+            pass
+        self.alive = False
+        self.sim._live -= 1
+        if not self.terminated.triggered:
+            self.terminated.trigger(None)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Process {self.name!r} {'alive' if self.alive else 'done'}>"
+
+
+class Simulator:
+    """The discrete-event engine: virtual clock plus an event heap.
+
+    A Mermaid architecture model is a set of processes created with
+    :meth:`process` plus the channels and resources that connect them;
+    :meth:`run` executes the model until a time bound or until no events
+    remain.
+    """
+
+    def __init__(self, *, trace_hook: Optional[Callable] = None) -> None:
+        self.now: float = 0.0
+        self._heap: list = []           # (time, seq, process, value)
+        self._seq: int = 0
+        self._live: int = 0             # unfinished processes
+        self._procs: list[Process] = []  # registry (for deadlock reports)
+        self._running = False
+        #: optional ``hook(time, process_or_callback)`` called before
+        #: every executed event — the kernel-level run-time trace.
+        self.trace_hook = trace_hook
+
+    # -- construction ----------------------------------------------------
+
+    def process(self, gen: Generator, name: str = "") -> Process:
+        """Register a generator as a process; it starts at the current time."""
+        if not name:
+            name = f"proc-{len(self._procs)}"
+        proc = Process(self, gen, name)
+        self._procs.append(proc)
+        self._live += 1
+        self._schedule(self.now, proc, None)
+        return proc
+
+    def event(self, name: str = "") -> Event:
+        """Create a fresh untriggered :class:`Event`."""
+        return Event(self, name)
+
+    def timeout(self, delay: float, value: Any = None, name: str = "") -> Event:
+        """An event that triggers ``delay`` time units from now."""
+        if delay < 0:
+            raise SimTimeError(f"negative timeout {delay}")
+        ev = Event(self, name or f"timeout({delay})")
+        self._schedule_call(self.now + delay, ev.trigger, value)
+        return ev
+
+    # -- scheduling internals ---------------------------------------------
+
+    def _schedule(self, time: float, proc: Process, value: Any) -> None:
+        if proc._scheduled:
+            raise SimulationError(
+                f"process {proc.name!r} scheduled twice (woken while runnable)"
+            )
+        proc._scheduled = True
+        self._seq += 1
+        heapq.heappush(self._heap, (time, self._seq, proc, value))
+
+    def _schedule_call(self, time: float, fn: Callable, value: Any) -> None:
+        """Schedule a bare callback (used by timeouts)."""
+        self._seq += 1
+        heapq.heappush(self._heap, (time, self._seq, fn, value))
+
+    # -- execution ---------------------------------------------------------
+
+    def run(self, until: Optional[float] = None,
+            check_deadlock: bool = False) -> float:
+        """Run the simulation.
+
+        Parameters
+        ----------
+        until:
+            Stop once the clock would pass this time (events exactly at
+            ``until`` are executed).  ``None`` runs to event exhaustion.
+        check_deadlock:
+            If true and the event list drains while processes are still
+            alive (i.e. blocked forever), raise :class:`DeadlockError`.
+
+        Returns the final simulation time.
+        """
+        if self._running:
+            raise SimulationError("run() is not reentrant")
+        self._running = True
+        heap = self._heap
+        pop = heapq.heappop
+        hook = self.trace_hook
+        try:
+            while heap:
+                time, _seq, target, value = heap[0]
+                if until is not None and time > until:
+                    self.now = until
+                    break
+                pop(heap)
+                self.now = time
+                if hook is not None:
+                    hook(time, target)
+                if type(target) is Process:
+                    if target.alive:
+                        target._step(value)
+                else:
+                    target(value)
+        finally:
+            self._running = False
+        if check_deadlock and not heap and self._live > 0:
+            blocked = [p.name for p in self._procs if p.alive]
+            raise DeadlockError(blocked)
+        return self.now
+
+    def step(self) -> bool:
+        """Execute a single event; return False if none remain."""
+        if not self._heap:
+            return False
+        time, _seq, target, value = heapq.heappop(self._heap)
+        self.now = time
+        if type(target) is Process:
+            if target.alive:
+                target._step(value)
+        else:
+            target(value)
+        return True
+
+    @property
+    def pending_events(self) -> int:
+        """Number of scheduled (not yet executed) events."""
+        return len(self._heap)
+
+    @property
+    def live_processes(self) -> int:
+        """Number of processes that have not terminated."""
+        return self._live
+
+    def blocked_process_names(self) -> list[str]:
+        """Names of alive processes with no scheduled resume (blocked)."""
+        return [p.name for p in self._procs
+                if p.alive and not p._scheduled]
+
+    def all_of(self, events: Iterable[Event], name: str = "all_of") -> Event:
+        """An event triggered once *all* of ``events`` have triggered.
+
+        Triggers with the list of individual values, in input order.
+        """
+        events = list(events)
+        combined = Event(self, name)
+        remaining = [len(events)]
+        values: list[Any] = [None] * len(events)
+        if not events:
+            # Trigger asynchronously to keep semantics uniform.
+            self._schedule_call(self.now, combined.trigger, [])
+            return combined
+
+        def make_cb(i: int):
+            def cb(value: Any) -> None:
+                values[i] = value
+                remaining[0] -= 1
+                if remaining[0] == 0:
+                    combined.trigger(list(values))
+            return cb
+
+        for i, ev in enumerate(events):
+            ev.add_callback(make_cb(i))
+        return combined
+
+    def any_of(self, events: Iterable[Event], name: str = "any_of") -> Event:
+        """An event triggered as soon as *any* of ``events`` triggers.
+
+        Triggers with a tuple ``(index, value)`` of the first event to
+        fire; later triggers are ignored.
+        """
+        events = list(events)
+        combined = Event(self, name)
+
+        def make_cb(i: int):
+            def cb(value: Any) -> None:
+                if not combined.triggered:
+                    combined.trigger((i, value))
+            return cb
+
+        for i, ev in enumerate(events):
+            ev.add_callback(make_cb(i))
+        return combined

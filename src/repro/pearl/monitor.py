@@ -1,0 +1,170 @@
+"""Statistics monitors — the measurement side of the workbench.
+
+Mermaid couples its architecture models to "a suite of tools ... to
+visualize and analyze the simulation output".  Monitors are the data
+source for those tools: they accumulate either *tallied* samples
+(message latencies, queue waits) or *time-weighted* level curves
+(queue length, link occupancy) while the simulation runs.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from .kernel import Simulator
+
+__all__ = ["TallyMonitor", "TimeWeightedMonitor"]
+
+
+class TallyMonitor:
+    """Accumulates independent samples; O(1) memory (Welford variance).
+
+    Optionally keeps the raw samples (``keep_samples=True``) for
+    histogram / percentile post-processing by the analysis tools.
+    """
+
+    __slots__ = ("name", "count", "_mean", "_m2", "min", "max", "total",
+                 "samples")
+
+    def __init__(self, name: str = "", keep_samples: bool = False) -> None:
+        self.name = name or "tally"
+        self.count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self.total = 0.0
+        self.samples: Optional[list[float]] = [] if keep_samples else None
+
+    def record(self, value: float) -> None:
+        """Add one sample."""
+        self.count += 1
+        self.total += value
+        delta = value - self._mean
+        self._mean += delta / self.count
+        self._m2 += delta * (value - self._mean)
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        if self.samples is not None:
+            self.samples.append(value)
+
+    @property
+    def mean(self) -> float:
+        return self._mean if self.count else 0.0
+
+    @property
+    def variance(self) -> float:
+        return self._m2 / (self.count - 1) if self.count > 1 else 0.0
+
+    @property
+    def stdev(self) -> float:
+        return math.sqrt(self.variance)
+
+    def merge(self, other: "TallyMonitor") -> None:
+        """Fold another monitor's samples into this one (parallel merge)."""
+        if other.count == 0:
+            return
+        if self.count == 0:
+            self.count = other.count
+            self._mean = other._mean
+            self._m2 = other._m2
+            self.min = other.min
+            self.max = other.max
+            self.total = other.total
+        else:
+            n1, n2 = self.count, other.count
+            delta = other._mean - self._mean
+            n = n1 + n2
+            self._mean += delta * n2 / n
+            self._m2 += other._m2 + delta * delta * n1 * n2 / n
+            self.count = n
+            self.total += other.total
+            self.min = min(self.min, other.min)
+            self.max = max(self.max, other.max)
+        if self.samples is not None and other.samples is not None:
+            self.samples.extend(other.samples)
+
+    def summary(self) -> dict:
+        """A plain-dict snapshot for reports."""
+        return {
+            "name": self.name,
+            "count": self.count,
+            "mean": self.mean,
+            "stdev": self.stdev,
+            "min": self.min if self.count else 0.0,
+            "max": self.max if self.count else 0.0,
+            "total": self.total,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"<TallyMonitor {self.name!r} n={self.count} "
+                f"mean={self.mean:.4g}>")
+
+
+class TimeWeightedMonitor:
+    """Tracks a piecewise-constant level over simulated time.
+
+    ``record(level)`` states that the monitored quantity holds ``level``
+    from the current simulation time until the next ``record``.  The
+    time-average is then the integral divided by the observation span.
+    """
+
+    __slots__ = ("sim", "name", "_level", "_last_time", "_area", "_start",
+                 "min", "max", "changes")
+
+    def __init__(self, sim: Simulator, name: str = "",
+                 initial: float = 0.0) -> None:
+        self.sim = sim
+        self.name = name or "level"
+        self._level = initial
+        self._last_time = sim.now
+        self._start = sim.now
+        self._area = 0.0
+        self.min = initial
+        self.max = initial
+        self.changes = 0
+
+    def record(self, level: float) -> None:
+        now = self.sim.now
+        self._area += self._level * (now - self._last_time)
+        self._last_time = now
+        self._level = level
+        self.changes += 1
+        if level < self.min:
+            self.min = level
+        if level > self.max:
+            self.max = level
+
+    def add(self, delta: float) -> None:
+        """Convenience: record current level + ``delta``."""
+        self.record(self._level + delta)
+
+    @property
+    def level(self) -> float:
+        return self._level
+
+    def time_average(self, horizon: Optional[float] = None) -> float:
+        """Time-weighted mean level over [start, horizon or now]."""
+        end = self.sim.now if horizon is None else horizon
+        span = end - self._start
+        if span <= 0:
+            return self._level
+        area = self._area + self._level * (end - self._last_time)
+        return area / span
+
+    def summary(self) -> dict:
+        return {
+            "name": self.name,
+            "time_average": self.time_average(),
+            "min": self.min,
+            "max": self.max,
+            "changes": self.changes,
+            "current": self._level,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"<TimeWeightedMonitor {self.name!r} level={self._level:.4g} "
+                f"avg={self.time_average():.4g}>")

@@ -1,0 +1,132 @@
+"""Arbitrated resources — buses, links and other shared hardware.
+
+Mermaid's bus component "is a simple forwarding mechanism, carrying out
+arbitration upon multiple accesses"; the router's output links likewise
+serialize competing packets.  :class:`Resource` is the kernel primitive
+behind both: a counted FIFO semaphore whose holders occupy capacity for
+a span of simulated time, with built-in utilization accounting.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional
+
+from .errors import SimulationError
+from .kernel import Event, Simulator
+
+__all__ = ["Resource"]
+
+
+class Resource:
+    """A shared resource with ``capacity`` simultaneous holders (FIFO grant).
+
+    Usage inside a process::
+
+        yield bus.acquire()
+        yield transfer_time
+        bus.release()
+
+    or, for the common acquire-hold-release pattern::
+
+        yield from bus.use(transfer_time)
+    """
+
+    __slots__ = ("sim", "name", "capacity", "_in_use", "_queue",
+                 "acquisitions", "_busy_time", "_last_change", "_busy_since",
+                 "max_queue_len", "total_wait_time")
+
+    def __init__(self, sim: Simulator, capacity: int = 1, name: str = "") -> None:
+        if capacity < 1:
+            raise SimulationError(f"resource capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.name = name or "resource"
+        self.capacity = capacity
+        self._in_use = 0
+        self._queue: deque = deque()   # (event, units, time_enqueued)
+        self.acquisitions = 0
+        self._busy_time = 0.0           # integral of (in_use/capacity) dt
+        self._last_change = sim.now
+        self._busy_since: Optional[float] = None
+        self.max_queue_len = 0
+        self.total_wait_time = 0.0
+
+    # -- accounting ---------------------------------------------------------
+
+    def _account(self) -> None:
+        now = self.sim.now
+        if self._in_use > 0:
+            self._busy_time += (now - self._last_change) * (
+                self._in_use / self.capacity)
+        self._last_change = now
+
+    def utilization(self, horizon: Optional[float] = None) -> float:
+        """Fraction of capacity-time used since construction.
+
+        ``horizon`` defaults to the current simulation time; pass the run
+        length explicitly for post-run reporting.
+        """
+        self._account()
+        span = self.sim.now if horizon is None else horizon
+        if span <= 0:
+            return 0.0
+        return self._busy_time / span
+
+    # -- operations -----------------------------------------------------------
+
+    def acquire(self, units: int = 1) -> Event:
+        """Request ``units`` of capacity; yield the event to hold them."""
+        if units < 1 or units > self.capacity:
+            raise SimulationError(
+                f"cannot acquire {units} units of {self.name!r} "
+                f"(capacity {self.capacity})")
+        ev = Event(self.sim, f"{self.name}.acquire")
+        if not self._queue and self._in_use + units <= self.capacity:
+            self._account()
+            self._in_use += units
+            self.acquisitions += 1
+            ev.trigger(None)
+        else:
+            self._queue.append((ev, units, self.sim.now))
+            if len(self._queue) > self.max_queue_len:
+                self.max_queue_len = len(self._queue)
+        return ev
+
+    def release(self, units: int = 1) -> None:
+        """Return ``units`` of capacity and grant queued requests (FIFO)."""
+        if units > self._in_use:
+            raise SimulationError(
+                f"release of {units} exceeds in-use {self._in_use} "
+                f"on {self.name!r}")
+        self._account()
+        self._in_use -= units
+        # Strict FIFO: grant from the head only, never skip ahead.
+        while self._queue:
+            ev, need, t_enq = self._queue[0]
+            if self._in_use + need > self.capacity:
+                break
+            self._queue.popleft()
+            self._in_use += need
+            self.acquisitions += 1
+            self.total_wait_time += self.sim.now - t_enq
+            ev.trigger(None)
+
+    def use(self, hold_time: float, units: int = 1):
+        """Generator helper: acquire, hold ``hold_time``, release."""
+        yield self.acquire(units)
+        try:
+            yield hold_time
+        finally:
+            self.release(units)
+
+    @property
+    def in_use(self) -> int:
+        return self._in_use
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._queue)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"<Resource {self.name!r} {self._in_use}/{self.capacity} "
+                f"queued={len(self._queue)}>")

@@ -1,0 +1,11 @@
+"""``repro.sharedmem`` — shared-memory and hybrid architectures (Sec 4.3).
+
+Multi-CPU nodes with snoopy-coherent private caches (SMP), and clusters
+of such nodes joined by the message-passing communication model.
+"""
+
+from .hybridarch import HybridArchitectureModel, HybridArchResult
+from .smp import CPUActivity, SMPNodeModel, SMPResult
+
+__all__ = ["CPUActivity", "HybridArchResult", "HybridArchitectureModel",
+           "SMPNodeModel", "SMPResult"]

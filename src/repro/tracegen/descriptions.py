@@ -1,0 +1,148 @@
+"""Stochastic application descriptions.
+
+"These descriptions are either stochastic representations of application
+behaviour, or they consist of the sources of real programs ..."
+(Section 3).  A :class:`StochasticAppDescription` is the probabilistic
+kind: it captures an application *class* — instruction mix, memory
+locality, loop structure, communication granularity and pattern — with
+a handful of distribution parameters, "which can be useful when
+fast-prototyping new architectures" and "offers the flexibility to
+adjust the application loads easily".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..operations.optypes import ArithType, MemType
+
+__all__ = ["InstructionMix", "MemoryBehaviour", "CommunicationBehaviour",
+           "StochasticAppDescription"]
+
+
+@dataclass
+class InstructionMix:
+    """Relative frequencies of the computational operations.
+
+    Weights need not sum to one; they are normalized at generation time.
+    ``ifetch`` operations are added implicitly (one per instruction),
+    modelling the instruction-fetch stream separately.
+    """
+
+    load: float = 0.22
+    store: float = 0.12
+    loadc: float = 0.08
+    add: float = 0.26
+    sub: float = 0.08
+    mul: float = 0.06
+    div: float = 0.01
+    branch: float = 0.14
+    call: float = 0.015
+    ret: float = 0.015
+    #: probability an arithmetic op is float (vs int); floats split evenly
+    #: between single and double precision.
+    float_fraction: float = 0.3
+    #: probability a memory access is a FLOAT64 (vs INT32) datum.
+    double_data_fraction: float = 0.4
+
+    def weights(self) -> list[tuple[str, float]]:
+        pairs = [(k, getattr(self, k)) for k in
+                 ("load", "store", "loadc", "add", "sub", "mul", "div",
+                  "branch", "call", "ret")]
+        total = sum(w for _, w in pairs)
+        if total <= 0:
+            raise ValueError("instruction mix weights must be positive")
+        return [(k, w / total) for k, w in pairs]
+
+
+@dataclass
+class MemoryBehaviour:
+    """Synthetic data-address stream parameters.
+
+    A fraction of accesses walk sequentially through the working set
+    (stride = datum size); the rest are uniform random within it.  Code
+    addresses live in a separate region and follow the loop model below.
+    """
+
+    working_set_bytes: int = 256 * 1024
+    sequential_fraction: float = 0.6
+    data_base: int = 0x1000_0000
+    stack_base: int = 0x7000_0000
+    #: fraction of accesses that go to the (small, hot) stack region.
+    stack_fraction: float = 0.25
+    stack_bytes: int = 4 * 1024
+
+    def validate(self) -> None:
+        if self.working_set_bytes <= 0 or self.stack_bytes <= 0:
+            raise ValueError("working set sizes must be positive")
+        for f in (self.sequential_fraction, self.stack_fraction):
+            if not 0.0 <= f <= 1.0:
+                raise ValueError(f"fraction {f} outside [0, 1]")
+
+
+@dataclass
+class CommunicationBehaviour:
+    """Synthetic communication structure.
+
+    Communication is generated in *rounds* so that sends and receives
+    always match (pairings within a round are drawn from a seeded RNG
+    shared by all nodes): in each round nodes are paired off and each
+    pair exchanges one message in both directions — the lower-numbered
+    node sends first, the higher-numbered receives first, which is
+    deadlock-free by construction.
+    """
+
+    #: mean computational operations (or task cycles) between rounds.
+    mean_ops_between_rounds: float = 2000.0
+    #: message size distribution: log-uniform between min and max bytes.
+    min_message_bytes: int = 64
+    max_message_bytes: int = 8192
+    #: probability a message uses asynchronous (asend/arecv) transfer.
+    async_fraction: float = 0.0
+    #: "neighbour" pairing keeps partners close (node i with i^1);
+    #: "random" draws a random perfect matching each round.
+    pattern: str = "random"
+
+    def validate(self) -> None:
+        if self.mean_ops_between_rounds <= 0:
+            raise ValueError("mean_ops_between_rounds must be positive")
+        if not (0 < self.min_message_bytes <= self.max_message_bytes):
+            raise ValueError("bad message size range")
+        if not 0.0 <= self.async_fraction <= 1.0:
+            raise ValueError("async_fraction outside [0, 1]")
+        if self.pattern not in ("random", "neighbour"):
+            raise ValueError(f"unknown pattern {self.pattern!r}")
+
+
+@dataclass
+class StochasticAppDescription:
+    """A complete probabilistic description of an application class."""
+
+    name: str = "synthetic"
+    mix: InstructionMix = field(default_factory=InstructionMix)
+    memory: MemoryBehaviour = field(default_factory=MemoryBehaviour)
+    comm: CommunicationBehaviour = field(default_factory=CommunicationBehaviour)
+    #: loop model: code is a ring of basic blocks; at a block end the
+    #: next block is the same block (loop back) with probability
+    #: ``loopback_prob``, else the successor; far jumps are rare.
+    n_basic_blocks: int = 64
+    mean_block_len: float = 8.0
+    loopback_prob: float = 0.7
+    far_jump_prob: float = 0.05
+    code_base: int = 0x0040_0000
+    instr_bytes: int = 4
+    #: task-level generation: mean cycles per compute task.
+    mean_task_cycles: float = 5000.0
+
+    def validate(self) -> None:
+        self.mix.weights()
+        self.memory.validate()
+        self.comm.validate()
+        if self.n_basic_blocks < 1 or self.mean_block_len < 1:
+            raise ValueError("bad basic-block model")
+        if not 0.0 <= self.loopback_prob <= 1.0:
+            raise ValueError("loopback_prob outside [0, 1]")
+        if not 0.0 <= self.far_jump_prob <= 1.0:
+            raise ValueError("far_jump_prob outside [0, 1]")
+        if self.mean_task_cycles <= 0:
+            raise ValueError("mean_task_cycles must be positive")

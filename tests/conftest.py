@@ -1,0 +1,67 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import (
+    BusConfig,
+    CacheConfig,
+    CacheLevelConfig,
+    CPUConfig,
+    MachineConfig,
+    MemoryConfig,
+    NetworkConfig,
+    NodeConfig,
+    TopologyConfig,
+)
+from repro.pearl import Simulator
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    return Simulator()
+
+
+@pytest.fixture
+def tiny_cache_cfg() -> CacheConfig:
+    """4 sets x 2 ways x 16-byte lines = 128 bytes; easy to reason about."""
+    return CacheConfig(name="tiny", size_bytes=128, line_bytes=16,
+                       associativity=2, hit_cycles=1.0)
+
+
+@pytest.fixture
+def small_node_cfg(tiny_cache_cfg) -> NodeConfig:
+    return NodeConfig(
+        cpu=CPUConfig(),
+        cache_levels=[CacheLevelConfig(data=tiny_cache_cfg)],
+        bus=BusConfig(width_bytes=8, cycles_per_beat=1.0,
+                      arbitration_cycles=1.0),
+        memory=MemoryConfig(access_cycles=20.0, cycles_per_word=2.0,
+                            word_bytes=8),
+    )
+
+
+@pytest.fixture
+def ring4_machine() -> MachineConfig:
+    return MachineConfig(
+        name="ring4",
+        network=NetworkConfig(
+            topology=TopologyConfig(kind="ring", dims=(4,)))).validate()
+
+
+@pytest.fixture
+def mesh4_machine() -> MachineConfig:
+    node = NodeConfig(cache_levels=[CacheLevelConfig(data=CacheConfig())])
+    return MachineConfig(
+        name="mesh2x2",
+        node=node,
+        network=NetworkConfig(
+            topology=TopologyConfig(kind="mesh", dims=(2, 2)))).validate()
+
+
+def run_process(sim: Simulator, gen, **kwargs):
+    """Helper: run a single process to completion, return its result."""
+    proc = sim.process(gen)
+    sim.run(**kwargs)
+    return proc.result

@@ -1,0 +1,148 @@
+"""The instrumentation API: NodeContext, collectives, ThreadedApplication."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps import ThreadedApplication
+from repro.operations import (
+    ArithType,
+    MemType,
+    OpCode,
+    validate_trace_set,
+)
+
+
+def record(program, n_nodes=4):
+    return ThreadedApplication(program, n_nodes).record()
+
+
+class TestAnnotationsThroughContext:
+    def test_loop_emits_backedges(self):
+        def program(ctx):
+            for _ in ctx.loop(range(5)):
+                ctx.const()
+        ts = record(program, 1)
+        hist = ts[0].op_histogram()
+        assert hist[OpCode.LOADC] == 5
+        assert hist[OpCode.BRANCH] == 4      # n-1 back edges
+        # Back edges recur at the same fetch address.
+        branches = [op.address for op in ts[0]
+                    if op.code is OpCode.BRANCH]
+        assert len(set(branches)) == 1
+
+    def test_function_decorator(self):
+        def program(ctx):
+            @ctx.function
+            def helper():
+                ctx.add(ArithType.INT)
+            helper()
+            helper()
+        ts = record(program, 1)
+        hist = ts[0].op_histogram()
+        assert hist[OpCode.CALL] == 2
+        assert hist[OpCode.RET] == 2
+
+    def test_function_scope_isolated(self):
+        def program(ctx):
+            @ctx.function
+            def helper():
+                ctx.local_var("tmp", MemType.INT32)   # fresh scope each call
+            helper()
+            helper()   # would raise 'already declared' without scoping
+        record(program, 1)
+
+    def test_flops(self):
+        def program(ctx):
+            ctx.flops(10)
+        ts = record(program, 1)
+        assert ts[0].op_histogram()[OpCode.MUL] == 10
+
+    def test_register_variable_emits_nothing(self):
+        def program(ctx):
+            i = ctx.local_var("i", MemType.INT32)
+            ctx.read(i)
+            ctx.write(i)
+        ts = record(program, 1)
+        assert len(ts[0]) == 0
+
+
+class TestCollectives:
+    @pytest.mark.parametrize("n", [1, 2, 3, 4, 5, 8])
+    def test_barrier_matches(self, n):
+        def program(ctx):
+            ctx.barrier()
+        validate_trace_set(record(program, n))
+
+    @pytest.mark.parametrize("n", [1, 2, 3, 5, 8])
+    @pytest.mark.parametrize("root", [0, 1])
+    def test_broadcast_delivers_payload(self, n, root):
+        if root >= n:
+            pytest.skip("root outside machine")
+        seen = {}
+
+        def program(ctx):
+            value = ctx.broadcast(root, 8,
+                                  "tok" if ctx.node_id == root else None)
+            seen[ctx.node_id] = value
+        validate_trace_set(record(program, n))
+        assert all(v == "tok" for v in seen.values())
+        assert len(seen) == n
+
+    @pytest.mark.parametrize("n", [1, 2, 4, 6])
+    def test_reduce_to_root(self, n):
+        results = {}
+
+        def program(ctx):
+            results[ctx.node_id] = ctx.reduce_to_root(
+                0, 8, float(ctx.node_id + 1))
+        validate_trace_set(record(program, n))
+        assert results[0] == sum(range(1, n + 1))
+        assert all(results[i] is None for i in range(1, n))
+
+
+class TestThreadedApplication:
+    def test_spmd_replication(self):
+        def program(ctx):
+            ctx.const()
+        ts = record(program, 3)
+        assert len(ts) == 3
+        assert all(len(t) == 2 for t in ts)   # ifetch + loadc
+
+    def test_mpmd_list(self):
+        def a(ctx):
+            ctx.send(1, 8)
+
+        def b(ctx):
+            ctx.recv(0)
+        app = ThreadedApplication([a, b], 2)
+        ts = app.record()
+        assert ts[0].op_histogram()[OpCode.SEND] == 1
+        assert ts[1].op_histogram()[OpCode.RECV] == 1
+
+    def test_mpmd_wrong_count(self):
+        with pytest.raises(ValueError):
+            ThreadedApplication([lambda c: None], 2)
+
+    def test_bad_n_nodes(self):
+        with pytest.raises(ValueError):
+            ThreadedApplication(lambda c: None, 0)
+
+    def test_streams_are_fresh_each_call(self):
+        def program(ctx):
+            ctx.const()
+        app = ThreadedApplication(program, 2)
+        s1 = app.streams()
+        s2 = app.streams()
+        assert len(s1) == 2
+        assert s1[0].thread is not s2[0].thread
+        for s in s1 + s2:
+            s.close()
+
+    def test_node_identity(self):
+        ids = []
+
+        def program(ctx):
+            ids.append((ctx.node_id, ctx.n_nodes))
+        record(program, 3)
+        assert sorted(ids) == [(0, 3), (1, 3), (2, 3)]

@@ -1,0 +1,102 @@
+"""The ``python -m repro`` command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import PRESETS, build_machine, main
+from repro.tracegen import StochasticAppDescription, StochasticGenerator
+
+
+class TestBuildMachine:
+    def test_all_presets_valid(self):
+        for name in PRESETS:
+            machine = build_machine(name)
+            assert machine.n_nodes >= 2
+
+    def test_unknown_preset(self):
+        with pytest.raises(SystemExit, match="unknown preset"):
+            build_machine("cray-ymp")
+
+    def test_override_float(self):
+        m = build_machine("generic-mesh", ["network.link_bandwidth=8"])
+        assert m.network.link_bandwidth == 8.0
+
+    def test_override_int_and_str(self):
+        m = build_machine("generic-mesh",
+                          ["network.packet_bytes=512",
+                           "network.switching=store_and_forward"])
+        assert m.network.packet_bytes == 512
+        assert m.network.switching == "store_and_forward"
+
+    def test_override_tuple(self):
+        m = build_machine("generic-mesh", ["network.topology.dims=2,2"])
+        assert m.n_nodes == 4
+
+    def test_override_nested_node(self):
+        m = build_machine("smp4", ["node.coherence=msi"])
+        assert m.node.coherence == "msi"
+
+    def test_bad_override_path(self):
+        with pytest.raises(SystemExit, match="unknown config path"):
+            build_machine("generic-mesh", ["network.warp_speed=9"])
+
+    def test_bad_override_syntax(self):
+        with pytest.raises(SystemExit, match="key=value"):
+            build_machine("generic-mesh", ["no-equals-sign"])
+
+    def test_invalid_override_rejected_by_validation(self):
+        with pytest.raises(Exception):
+            build_machine("generic-mesh", ["network.link_bandwidth=-1"])
+
+
+class TestCommands:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "t805-grid" in out and "powerpc601" in out
+
+    def test_calibrate(self, capsys):
+        assert main(["calibrate", "generic-mesh",
+                     "--set", "network.topology.dims=2,2"]) == 0
+        out = capsys.readouterr().out
+        assert "l1_hit_cycles" in out
+
+    def test_slowdown(self, capsys):
+        assert main(["slowdown", "t805-grid-2x2", "--ops", "3000"]) == 0
+        out = capsys.readouterr().out
+        assert "detailed" in out and "task level" in out
+
+    def test_slowdown_smp_preset_skips_detailed(self, capsys):
+        assert main(["slowdown", "smp4", "--ops", "2000"]) == 0
+        out = capsys.readouterr().out
+        assert "detailed" not in out
+
+    def test_stochastic(self, capsys):
+        assert main(["stochastic", "generic-mesh", "--rounds", "3",
+                     "--set", "network.topology.dims=2,2"]) == 0
+        out = capsys.readouterr().out
+        assert "parallel efficiency" in out
+
+    def test_trace_profile_and_dump(self, capsys, tmp_path):
+        gen = StochasticGenerator(StochasticAppDescription(), 2, seed=0)
+        ts = gen.generate_task_level(3)
+        path = str(tmp_path / "t.npz")
+        ts.save(path)
+        assert main(["trace", path, "--dump", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "trace profile" in out
+        assert "compute" in out
+
+    def test_missing_command_exits(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+
+class TestWorkloadClassOption:
+    def test_stochastic_with_workload_preset(self, capsys):
+        assert main(["stochastic", "generic-mesh", "--rounds", "3",
+                     "--workload", "stencil",
+                     "--set", "network.topology.dims=2,2"]) == 0
+        out = capsys.readouterr().out
+        assert "parallel efficiency" in out

@@ -1,0 +1,52 @@
+"""Link-utilization heatmap rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Workbench, generic_multicomputer
+from repro.analysis import link_utilization_grid, top_links
+from repro.apps import alltoall_task_traces, pingpong_task_traces
+
+
+@pytest.fixture(scope="module")
+def mesh_result():
+    wb = Workbench(generic_multicomputer("mesh", (4, 4)))
+    return wb.run_comm_only(alltoall_task_traces(16, block_bytes=2048))
+
+
+class TestGrid:
+    def test_all_nodes_rendered(self, mesh_result):
+        text = link_utilization_grid(mesh_result)
+        for node in range(16):
+            assert f"[{node:3d}]" in text
+
+    def test_hot_links_shaded(self, mesh_result):
+        text = link_utilization_grid(mesh_result)
+        # The busiest glyphs appear somewhere in the grid.
+        assert any(g in text for g in "#%@")
+
+    def test_idle_network_renders_cold(self):
+        wb = Workbench(generic_multicomputer("mesh", (2, 2)))
+        from repro.operations import compute
+        res = wb.run_comm_only([[compute(10)], [], [], []])
+        body = "\n".join(link_utilization_grid(res).splitlines()[1:])
+        assert "@" not in body and "#" not in body
+
+    def test_non_grid_falls_back_to_table(self):
+        wb = Workbench(generic_multicomputer("hypercube", (3,)))
+        res = wb.run_comm_only(pingpong_task_traces(8, size=512))
+        text = link_utilization_grid(res)
+        assert "top" in text and "link" in text
+
+
+class TestTopLinks:
+    def test_ranked_descending(self, mesh_result):
+        text = top_links(mesh_result, limit=5)
+        values = [float(line.split()[-1])
+                  for line in text.splitlines()[3:]]
+        assert values == sorted(values, reverse=True)
+
+    def test_limit_respected(self, mesh_result):
+        text = top_links(mesh_result, limit=3)
+        assert len(text.splitlines()) == 2 + 1 + 3   # title+hdr+rule+rows

@@ -1,0 +1,157 @@
+"""Operation factories, accessors and categories (Table 1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.operations import (
+    ARITHMETIC_OPS,
+    COMMUNICATION_OPS,
+    COMPUTATIONAL_OPS,
+    CONTROL_OPS,
+    GLOBAL_EVENT_OPS,
+    MEMORY_OPS,
+    ArithType,
+    MemType,
+    OpCode,
+    Operation,
+    add,
+    arecv,
+    asend,
+    branch,
+    call,
+    compute,
+    div,
+    ifetch,
+    load,
+    load_const,
+    mul,
+    recv,
+    ret,
+    send,
+    store,
+    sub,
+)
+
+
+class TestFactories:
+    def test_load_store(self):
+        op = load(MemType.FLOAT64, 0x1000)
+        assert op.code is OpCode.LOAD
+        assert op.mem_type is MemType.FLOAT64
+        assert op.address == 0x1000
+        op = store(MemType.INT32, 64)
+        assert op.code is OpCode.STORE and op.address == 64
+
+    def test_load_const(self):
+        op = load_const(MemType.FLOAT32)
+        assert op.code is OpCode.LOADC
+        assert op.mem_type is MemType.FLOAT32
+
+    @pytest.mark.parametrize("factory,code", [
+        (add, OpCode.ADD), (sub, OpCode.SUB), (mul, OpCode.MUL),
+        (div, OpCode.DIV)])
+    def test_arithmetic(self, factory, code):
+        op = factory(ArithType.DOUBLE)
+        assert op.code is code
+        assert op.arith_type is ArithType.DOUBLE
+
+    @pytest.mark.parametrize("factory,code", [
+        (ifetch, OpCode.IFETCH), (branch, OpCode.BRANCH),
+        (call, OpCode.CALL), (ret, OpCode.RET)])
+    def test_control(self, factory, code):
+        op = factory(0x400)
+        assert op.code is code and op.address == 0x400
+
+    def test_send_recv(self):
+        op = send(4096, 3)
+        assert op.code is OpCode.SEND
+        assert op.size == 4096 and op.peer == 3
+        op = recv(7)
+        assert op.code is OpCode.RECV and op.peer == 7
+
+    def test_async_pair(self):
+        op = asend(128, 1)
+        assert op.code is OpCode.ASEND
+        assert op.size == 128 and op.peer == 1
+        op = arecv(0)
+        assert op.code is OpCode.ARECV and op.peer == 0
+
+    def test_compute(self):
+        op = compute(1234.5)
+        assert op.code is OpCode.COMPUTE
+        assert op.duration == 1234.5
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            send(-1, 0)
+        with pytest.raises(ValueError):
+            asend(-5, 0)
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            compute(-1.0)
+
+
+class TestCategories:
+    def test_partition_complete(self):
+        all_codes = set(OpCode)
+        assert COMPUTATIONAL_OPS | COMMUNICATION_OPS == all_codes
+        assert not (COMPUTATIONAL_OPS & COMMUNICATION_OPS)
+
+    def test_subcategories(self):
+        assert MEMORY_OPS <= COMPUTATIONAL_OPS
+        assert ARITHMETIC_OPS <= COMPUTATIONAL_OPS
+        assert CONTROL_OPS <= COMPUTATIONAL_OPS
+        assert GLOBAL_EVENT_OPS <= COMMUNICATION_OPS
+        assert OpCode.COMPUTE not in GLOBAL_EVENT_OPS
+
+    def test_is_global_event(self):
+        assert send(1, 0).is_global_event
+        assert recv(0).is_global_event
+        assert not compute(5).is_global_event
+        assert not load(MemType.INT32, 0).is_global_event
+
+    def test_is_communication(self):
+        assert compute(5).is_communication
+        assert not ifetch(0).is_communication
+
+
+class TestValueSemantics:
+    def test_equality_and_hash(self):
+        a = load(MemType.INT32, 0x10)
+        b = load(MemType.INT32, 0x10)
+        c = load(MemType.INT64, 0x10)
+        assert a == b and hash(a) == hash(b)
+        assert a != c
+        assert a != "not-an-op"
+
+    def test_tuple_round_trip(self):
+        ops = [load(MemType.FLOAT64, 0x20), send(77, 2), compute(3.5),
+               add(ArithType.FLOAT), ifetch(0x400000)]
+        for op in ops:
+            assert Operation.from_tuple(op.to_tuple()) == op
+
+    def test_repr_readable(self):
+        assert "load" in repr(load(MemType.INT32, 0x10))
+        assert "dest=3" in repr(send(64, 3))
+        assert "source=1" in repr(recv(1))
+        assert "compute" in repr(compute(10))
+        assert "ADD" not in repr(add())  # lower-cased name, type shown
+        assert "INT" in repr(add())
+
+
+class TestMemTypes:
+    def test_sizes(self):
+        assert MemType.INT8.nbytes == 1
+        assert MemType.INT16.nbytes == 2
+        assert MemType.INT32.nbytes == 4
+        assert MemType.INT64.nbytes == 8
+        assert MemType.FLOAT32.nbytes == 4
+        assert MemType.FLOAT64.nbytes == 8
+
+    def test_float_flags(self):
+        assert MemType.FLOAT32.is_float and MemType.FLOAT64.is_float
+        assert not MemType.INT32.is_float
+        assert ArithType.FLOAT.is_float and ArithType.DOUBLE.is_float
+        assert not ArithType.INT.is_float

@@ -1,0 +1,221 @@
+"""Channel semantics: rendezvous, buffered, bounded, FIFO ordering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.pearl import Channel, ChannelClosedError, SimulationError
+
+
+class TestUnboundedAsync:
+    def test_send_never_blocks(self, sim):
+        ch = Channel(sim)
+
+        def sender():
+            for i in range(5):
+                yield ch.send(i)
+            return sim.now
+        p = sim.process(sender())
+        sim.run()
+        assert p.result == 0.0
+        assert len(ch) == 5
+
+    def test_receive_gets_fifo_order(self, sim):
+        ch = Channel(sim)
+
+        def sender():
+            for i in range(3):
+                yield ch.send(i)
+
+        def receiver():
+            got = []
+            for _ in range(3):
+                got.append((yield ch.receive()))
+            return got
+
+        sim.process(sender())
+        p = sim.process(receiver())
+        sim.run()
+        assert p.result == [0, 1, 2]
+
+    def test_receiver_blocks_until_send(self, sim):
+        ch = Channel(sim)
+
+        def receiver():
+            msg = yield ch.receive()
+            return (sim.now, msg)
+
+        def sender():
+            yield 12.0
+            yield ch.send("late")
+
+        p = sim.process(receiver())
+        sim.process(sender())
+        sim.run()
+        assert p.result == (12.0, "late")
+
+    def test_multiple_receivers_fifo(self, sim):
+        ch = Channel(sim)
+        got = []
+
+        def receiver(tag):
+            msg = yield ch.receive()
+            got.append((tag, msg))
+
+        sim.process(receiver("r0"))
+        sim.process(receiver("r1"))
+
+        def sender():
+            yield 1.0
+            yield ch.send("a")
+            yield ch.send("b")
+
+        sim.process(sender())
+        sim.run()
+        assert got == [("r0", "a"), ("r1", "b")]
+
+
+class TestRendezvous:
+    def test_sender_blocks_for_receiver(self, sim):
+        ch = Channel(sim, capacity=0)
+        times = {}
+
+        def sender():
+            yield ch.send("x")
+            times["send_done"] = sim.now
+
+        def receiver():
+            yield 8.0
+            msg = yield ch.receive()
+            times["recv_done"] = (sim.now, msg)
+
+        sim.process(sender())
+        sim.process(receiver())
+        sim.run()
+        assert times["send_done"] == 8.0
+        assert times["recv_done"] == (8.0, "x")
+
+    def test_receiver_blocks_for_sender(self, sim):
+        ch = Channel(sim, capacity=0)
+
+        def receiver():
+            msg = yield ch.receive()
+            return (sim.now, msg)
+
+        def sender():
+            yield 3.0
+            yield ch.send("y")
+
+        p = sim.process(receiver())
+        sim.process(sender())
+        sim.run()
+        assert p.result == (3.0, "y")
+
+
+class TestBounded:
+    def test_send_blocks_when_full(self, sim):
+        ch = Channel(sim, capacity=2)
+        done = []
+
+        def sender():
+            for i in range(3):
+                yield ch.send(i)
+                done.append((i, sim.now))
+
+        def receiver():
+            yield 10.0
+            yield ch.receive()
+
+        sim.process(sender())
+        sim.process(receiver())
+        sim.run()
+        assert done[0] == (0, 0.0)
+        assert done[1] == (1, 0.0)
+        assert done[2] == (2, 10.0)   # third send waited for a drain
+
+    def test_blocked_sender_message_preserves_order(self, sim):
+        ch = Channel(sim, capacity=1)
+
+        def sender():
+            yield ch.send("first")
+            yield ch.send("second")
+
+        def receiver():
+            yield 1.0
+            a = yield ch.receive()
+            b = yield ch.receive()
+            return [a, b]
+
+        sim.process(sender())
+        p = sim.process(receiver())
+        sim.run()
+        assert p.result == ["first", "second"]
+
+
+class TestMisc:
+    def test_negative_capacity_rejected(self, sim):
+        with pytest.raises(SimulationError):
+            Channel(sim, capacity=-1)
+
+    def test_try_receive(self, sim):
+        ch = Channel(sim)
+        ok, msg = ch.try_receive()
+        assert not ok and msg is None
+
+        def sender():
+            yield ch.send(5)
+        sim.process(sender())
+        sim.run()
+        ok, msg = ch.try_receive()
+        assert ok and msg == 5
+
+    def test_try_receive_meets_rendezvous_sender(self, sim):
+        ch = Channel(sim, capacity=0)
+        unblocked = []
+
+        def sender():
+            yield ch.send("z")
+            unblocked.append(sim.now)
+
+        sim.process(sender())
+        sim.run()
+        ok, msg = ch.try_receive()
+        assert ok and msg == "z"
+        sim.run()
+        assert unblocked == [0.0]
+
+    def test_send_on_closed_raises(self, sim):
+        ch = Channel(sim)
+        ch.close()
+        with pytest.raises(ChannelClosedError):
+            ch.send(1)
+
+    def test_drain_after_close_then_error(self, sim):
+        ch = Channel(sim)
+
+        def sender():
+            yield ch.send(1)
+        sim.process(sender())
+        sim.run()
+        ch.close()
+        ok, msg = ch.try_receive()
+        assert ok and msg == 1
+        with pytest.raises(ChannelClosedError):
+            ch.receive()
+
+    def test_counters(self, sim):
+        ch = Channel(sim)
+
+        def sender():
+            yield ch.send(1)
+            yield ch.send(2)
+
+        def receiver():
+            yield ch.receive()
+
+        sim.process(sender())
+        sim.process(receiver())
+        sim.run()
+        assert ch.sent_count == 2
+        assert ch.received_count == 1
+        assert ch.max_buffered >= 1

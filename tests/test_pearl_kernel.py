@@ -1,0 +1,365 @@
+"""Kernel semantics: events, processes, time, determinism."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.pearl import (
+    DeadlockError,
+    Event,
+    SimTimeError,
+    SimulationError,
+    Simulator,
+)
+
+
+class TestHold:
+    def test_hold_advances_time(self, sim):
+        log = []
+
+        def proc():
+            yield 5.0
+            log.append(sim.now)
+            yield 2.5
+            log.append(sim.now)
+
+        sim.process(proc())
+        sim.run()
+        assert log == [5.0, 7.5]
+
+    def test_integer_hold_accepted(self, sim):
+        def proc():
+            yield 3
+        sim.process(proc())
+        assert sim.run() == 3.0
+
+    def test_zero_hold_runs_at_same_time(self, sim):
+        def proc():
+            yield 0.0
+            return sim.now
+        p = sim.process(proc())
+        sim.run()
+        assert p.result == 0.0
+
+    def test_negative_hold_rejected(self, sim):
+        def proc():
+            yield -1.0
+        sim.process(proc())
+        with pytest.raises(SimTimeError):
+            sim.run()
+
+    def test_yield_garbage_rejected(self, sim):
+        def proc():
+            yield "nonsense"
+        sim.process(proc())
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_yield_none_reschedules_same_time(self, sim):
+        order = []
+
+        def a():
+            order.append("a1")
+            yield None
+            order.append("a2")
+
+        def b():
+            order.append("b1")
+            yield 0.0
+            order.append("b2")
+
+        sim.process(a())
+        sim.process(b())
+        sim.run()
+        # a yields to scheduler; b runs before a resumes.
+        assert order == ["a1", "b1", "a2", "b2"]
+
+
+class TestEvents:
+    def test_wait_and_trigger(self, sim):
+        ev = sim.event("go")
+        got = []
+
+        def waiter():
+            value = yield ev
+            got.append((sim.now, value))
+
+        def firer():
+            yield 10.0
+            ev.trigger("hello")
+
+        sim.process(waiter())
+        sim.process(firer())
+        sim.run()
+        assert got == [(10.0, "hello")]
+
+    def test_already_triggered_event_resumes_immediately(self, sim):
+        ev = sim.event()
+        ev.trigger(42)
+
+        def waiter():
+            value = yield ev
+            return value
+
+        p = sim.process(waiter())
+        sim.run()
+        assert p.result == 42
+        assert sim.now == 0.0
+
+    def test_double_trigger_raises(self, sim):
+        ev = sim.event()
+        ev.trigger()
+        with pytest.raises(SimulationError):
+            ev.trigger()
+
+    def test_multiple_waiters_fifo(self, sim):
+        ev = sim.event()
+        order = []
+
+        def waiter(tag):
+            yield ev
+            order.append(tag)
+
+        for tag in ("first", "second", "third"):
+            sim.process(waiter(tag))
+
+        def firer():
+            yield 1.0
+            ev.trigger()
+
+        sim.process(firer())
+        sim.run()
+        assert order == ["first", "second", "third"]
+
+    def test_timeout_event(self, sim):
+        ev = sim.timeout(7.0, value="done")
+
+        def waiter():
+            return (yield ev)
+        p = sim.process(waiter())
+        sim.run()
+        assert p.result == "done"
+        assert sim.now == 7.0
+
+    def test_negative_timeout_rejected(self, sim):
+        with pytest.raises(SimTimeError):
+            sim.timeout(-1.0)
+
+    def test_callback_on_trigger(self, sim):
+        ev = sim.event()
+        seen = []
+        ev.add_callback(seen.append)
+        ev.trigger("x")
+        assert seen == ["x"]
+
+    def test_callback_on_already_triggered(self, sim):
+        ev = sim.event()
+        ev.trigger("y")
+        seen = []
+        ev.add_callback(seen.append)
+        assert seen == ["y"]
+
+
+class TestCombinators:
+    def test_all_of(self, sim):
+        e1, e2 = sim.timeout(3.0, "a"), sim.timeout(5.0, "b")
+
+        def waiter():
+            return (yield sim.all_of([e1, e2]))
+        p = sim.process(waiter())
+        sim.run()
+        assert p.result == ["a", "b"]
+        assert sim.now == 5.0
+
+    def test_all_of_empty(self, sim):
+        def waiter():
+            return (yield sim.all_of([]))
+        p = sim.process(waiter())
+        sim.run()
+        assert p.result == []
+
+    def test_any_of_returns_first(self, sim):
+        e1, e2 = sim.timeout(9.0, "slow"), sim.timeout(2.0, "fast")
+
+        def waiter():
+            return (yield sim.any_of([e1, e2]))
+        p = sim.process(waiter())
+        sim.run()
+        assert p.result == (1, "fast")
+
+
+class TestProcesses:
+    def test_result_and_terminated_event(self, sim):
+        def proc():
+            yield 1.0
+            return "final"
+        p = sim.process(proc())
+        watched = []
+        p.terminated.add_callback(watched.append)
+        sim.run()
+        assert p.result == "final"
+        assert not p.alive
+        assert watched == ["final"]
+
+    def test_process_waiting_on_terminated(self, sim):
+        def child():
+            yield 4.0
+            return 99
+
+        def parent():
+            c = sim.process(child())
+            value = yield c.terminated
+            return value
+
+        p = sim.process(parent())
+        sim.run()
+        assert p.result == 99
+
+    def test_kill_blocked_process(self, sim):
+        ev = sim.event()
+        cleaned = []
+
+        def proc():
+            try:
+                yield ev
+            finally:
+                cleaned.append(True)
+
+        p = sim.process(proc())
+        sim.run()   # proc blocks on ev
+        p.kill()
+        assert cleaned == [True]
+        assert not p.alive
+        assert ev._waiters == []
+
+    def test_kill_is_idempotent(self, sim):
+        def proc():
+            yield sim.event()
+        p = sim.process(proc())
+        sim.run()
+        p.kill()
+        p.kill()
+        assert sim.live_processes == 0
+
+    def test_exception_propagates_to_run(self, sim):
+        def proc():
+            yield 1.0
+            raise RuntimeError("boom")
+        sim.process(proc())
+        with pytest.raises(RuntimeError, match="boom"):
+            sim.run()
+
+
+class TestRun:
+    def test_until_stops_cleanly(self, sim):
+        def proc():
+            for _ in range(10):
+                yield 10.0
+        sim.process(proc())
+        assert sim.run(until=35.0) == 35.0
+        assert sim.pending_events == 1
+
+    def test_until_executes_events_at_bound(self, sim):
+        hits = []
+
+        def proc():
+            yield 10.0
+            hits.append(sim.now)
+        sim.process(proc())
+        sim.run(until=10.0)
+        assert hits == [10.0]
+
+    def test_deadlock_detection(self, sim):
+        def proc():
+            yield sim.event("never")
+        sim.process(proc(), name="stuck")
+        with pytest.raises(DeadlockError) as exc:
+            sim.run(check_deadlock=True)
+        assert "stuck" in exc.value.blocked
+
+    def test_no_deadlock_error_when_all_finish(self, sim):
+        def proc():
+            yield 1.0
+        sim.process(proc())
+        sim.run(check_deadlock=True)
+
+    def test_step(self, sim):
+        def proc():
+            yield 1.0
+            yield 1.0
+        sim.process(proc())
+        steps = 0
+        while sim.step():
+            steps += 1
+        assert steps == 3   # start + two holds
+        assert sim.now == 2.0
+
+    def test_blocked_process_names(self, sim):
+        ev = sim.event()
+
+        def blocked():
+            yield ev
+
+        def running():
+            yield 100.0
+
+        sim.process(blocked(), name="b")
+        sim.process(running(), name="r")
+        sim.run(until=1.0)
+        assert sim.blocked_process_names() == ["b"]
+
+
+class TestDeterminism:
+    def test_identical_runs_identical_schedules(self):
+        def build():
+            sim = Simulator()
+            log = []
+
+            def worker(i):
+                for k in range(5):
+                    yield (i + 1) * 0.5
+                    log.append((sim.now, i, k))
+            for i in range(4):
+                sim.process(worker(i))
+            sim.run()
+            return log
+
+        assert build() == build()
+
+    def test_fifo_tie_break_at_same_time(self, sim):
+        order = []
+
+        def worker(tag):
+            yield 5.0
+            order.append(tag)
+
+        for tag in range(6):
+            sim.process(worker(tag))
+        sim.run()
+        assert order == list(range(6))
+
+
+class TestTraceHook:
+    def test_hook_sees_every_event(self):
+        events = []
+        sim = Simulator(trace_hook=lambda t, target: events.append(t))
+
+        def proc():
+            yield 1.0
+            yield 2.0
+
+        sim.process(proc())
+        sim.run()
+        # start + two holds = three executed events.
+        assert events == [0.0, 1.0, 3.0]
+
+    def test_hook_receives_process_target(self):
+        targets = []
+        sim = Simulator(trace_hook=lambda t, target: targets.append(target))
+
+        def proc():
+            yield 1.0
+
+        p = sim.process(proc(), name="traced")
+        sim.run()
+        assert all(t is p for t in targets)

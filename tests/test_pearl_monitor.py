@@ -1,0 +1,120 @@
+"""Monitors: tally statistics (vs numpy) and time-weighted levels."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.pearl import Simulator, TallyMonitor, TimeWeightedMonitor
+
+finite_floats = st.floats(min_value=-1e6, max_value=1e6,
+                          allow_nan=False, allow_infinity=False)
+
+
+class TestTally:
+    def test_empty(self):
+        m = TallyMonitor("empty")
+        assert m.count == 0
+        assert m.mean == 0.0
+        assert m.variance == 0.0
+        s = m.summary()
+        assert s["min"] == 0.0 and s["max"] == 0.0
+
+    def test_basic_stats(self):
+        m = TallyMonitor()
+        for v in (2.0, 4.0, 6.0):
+            m.record(v)
+        assert m.mean == pytest.approx(4.0)
+        assert m.min == 2.0 and m.max == 6.0
+        assert m.total == 12.0
+        assert m.variance == pytest.approx(4.0)
+
+    @given(st.lists(finite_floats, min_size=2, max_size=200))
+    def test_matches_numpy(self, values):
+        m = TallyMonitor()
+        for v in values:
+            m.record(v)
+        arr = np.asarray(values)
+        assert m.mean == pytest.approx(float(arr.mean()), rel=1e-9, abs=1e-6)
+        assert m.variance == pytest.approx(float(arr.var(ddof=1)),
+                                           rel=1e-6, abs=1e-6)
+        assert m.min == float(arr.min())
+        assert m.max == float(arr.max())
+
+    @given(st.lists(finite_floats, min_size=1, max_size=50),
+           st.lists(finite_floats, min_size=1, max_size=50))
+    def test_merge_equals_combined(self, a, b):
+        m1 = TallyMonitor()
+        m2 = TallyMonitor()
+        combined = TallyMonitor()
+        for v in a:
+            m1.record(v)
+            combined.record(v)
+        for v in b:
+            m2.record(v)
+            combined.record(v)
+        m1.merge(m2)
+        assert m1.count == combined.count
+        assert m1.mean == pytest.approx(combined.mean, rel=1e-9, abs=1e-6)
+        assert m1.variance == pytest.approx(combined.variance,
+                                            rel=1e-6, abs=1e-6)
+
+    def test_merge_into_empty(self):
+        m1, m2 = TallyMonitor(), TallyMonitor()
+        m2.record(3.0)
+        m1.merge(m2)
+        assert m1.count == 1 and m1.mean == 3.0
+
+    def test_merge_empty_is_noop(self):
+        m1, m2 = TallyMonitor(), TallyMonitor()
+        m1.record(5.0)
+        m1.merge(m2)
+        assert m1.count == 1 and m1.mean == 5.0
+
+    def test_keep_samples(self):
+        m = TallyMonitor(keep_samples=True)
+        for v in (1.0, 2.0):
+            m.record(v)
+        assert m.samples == [1.0, 2.0]
+
+
+class TestTimeWeighted:
+    def test_time_average(self):
+        sim = Simulator()
+        m = TimeWeightedMonitor(sim, initial=0.0)
+
+        def proc():
+            m.record(10.0)
+            yield 5.0
+            m.record(0.0)
+            yield 5.0
+
+        sim.process(proc())
+        sim.run()
+        assert m.time_average() == pytest.approx(5.0)
+
+    def test_add_delta(self):
+        sim = Simulator()
+        m = TimeWeightedMonitor(sim, initial=1.0)
+
+        def proc():
+            yield 2.0
+            m.add(3.0)   # level 4 from t=2
+            yield 2.0
+
+        sim.process(proc())
+        sim.run()
+        # (1*2 + 4*2) / 4 = 2.5
+        assert m.time_average() == pytest.approx(2.5)
+        assert m.max == 4.0 and m.min == 1.0
+
+    def test_horizon_extends_current_level(self):
+        sim = Simulator()
+        m = TimeWeightedMonitor(sim, initial=2.0)
+        assert m.time_average(horizon=10.0) == pytest.approx(2.0)
+
+    def test_zero_span_returns_level(self):
+        sim = Simulator()
+        m = TimeWeightedMonitor(sim, initial=7.0)
+        assert m.time_average() == 7.0

@@ -1,0 +1,168 @@
+"""Resource semantics: FIFO arbitration, utilization accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.pearl import Resource, SimulationError
+
+
+class TestAcquireRelease:
+    def test_exclusive_serialization(self, sim):
+        res = Resource(sim, capacity=1, name="bus")
+        log = []
+
+        def user(tag):
+            yield res.acquire()
+            log.append((tag, "got", sim.now))
+            yield 10.0
+            res.release()
+
+        sim.process(user("a"))
+        sim.process(user("b"))
+        sim.process(user("c"))
+        sim.run()
+        assert log == [("a", "got", 0.0), ("b", "got", 10.0),
+                       ("c", "got", 20.0)]
+
+    def test_fifo_grant_order(self, sim):
+        res = Resource(sim, capacity=1)
+        order = []
+
+        def user(tag, start):
+            yield start
+            yield res.acquire()
+            order.append(tag)
+            yield 5.0
+            res.release()
+
+        sim.process(user("late", 2.0))
+        sim.process(user("early", 1.0))
+        sim.process(user("earliest", 0.5))
+        sim.run()
+        assert order == ["earliest", "early", "late"]
+
+    def test_multi_capacity(self, sim):
+        res = Resource(sim, capacity=2)
+        concurrent = []
+
+        def user():
+            yield res.acquire()
+            concurrent.append(res.in_use)
+            yield 5.0
+            res.release()
+
+        for _ in range(4):
+            sim.process(user())
+        sim.run()
+        assert max(concurrent) == 2
+
+    def test_acquire_units(self, sim):
+        res = Resource(sim, capacity=4)
+        log = []
+
+        def big():
+            yield res.acquire(3)
+            log.append(("big", sim.now))
+            yield 10.0
+            res.release(3)
+
+        def small():
+            yield 1.0
+            yield res.acquire(2)
+            log.append(("small", sim.now))
+            res.release(2)
+
+        sim.process(big())
+        sim.process(small())
+        sim.run()
+        assert log == [("big", 0.0), ("small", 10.0)]
+
+    def test_fifo_head_blocks_queue(self, sim):
+        """Strict FIFO: a large waiting request blocks later small ones."""
+        res = Resource(sim, capacity=2)
+        order = []
+
+        def holder():
+            yield res.acquire(2)
+            yield 10.0
+            res.release(2)
+
+        def big():
+            yield 1.0
+            yield res.acquire(2)
+            order.append(("big", sim.now))
+            yield 5.0
+            res.release(2)
+
+        def small():
+            yield 2.0
+            yield res.acquire(1)
+            order.append(("small", sim.now))
+            res.release(1)
+
+        sim.process(holder())
+        sim.process(big())
+        sim.process(small())
+        sim.run()
+        assert order == [("big", 10.0), ("small", 15.0)]
+
+    def test_use_helper(self, sim):
+        res = Resource(sim, capacity=1)
+
+        def user():
+            yield from res.use(7.0)
+            return sim.now
+        p = sim.process(user())
+        sim.run()
+        assert p.result == 7.0
+        assert res.in_use == 0
+
+
+class TestErrors:
+    def test_bad_capacity(self, sim):
+        with pytest.raises(SimulationError):
+            Resource(sim, capacity=0)
+
+    def test_over_acquire(self, sim):
+        res = Resource(sim, capacity=2)
+        with pytest.raises(SimulationError):
+            res.acquire(3)
+
+    def test_over_release(self, sim):
+        res = Resource(sim, capacity=2)
+        with pytest.raises(SimulationError):
+            res.release(1)
+
+
+class TestAccounting:
+    def test_utilization_full(self, sim):
+        res = Resource(sim, capacity=1)
+
+        def user():
+            yield from res.use(10.0)
+        sim.process(user())
+        sim.run()
+        assert res.utilization(horizon=10.0) == pytest.approx(1.0)
+
+    def test_utilization_half(self, sim):
+        res = Resource(sim, capacity=2)
+
+        def user():
+            yield from res.use(10.0)
+        sim.process(user())
+        sim.run()
+        assert res.utilization(horizon=10.0) == pytest.approx(0.5)
+
+    def test_wait_time_and_queue_stats(self, sim):
+        res = Resource(sim, capacity=1)
+
+        def user():
+            yield from res.use(4.0)
+
+        for _ in range(3):
+            sim.process(user())
+        sim.run()
+        assert res.acquisitions == 3
+        assert res.max_queue_len == 2
+        assert res.total_wait_time == pytest.approx(4.0 + 8.0)

@@ -1,0 +1,201 @@
+"""Cross-cutting property-based tests (hypothesis).
+
+Deeper invariants than the per-module suites: kernel schedule laws,
+channel/NIC ordering, network delivery completeness, cache inclusion,
+and trace-generation determinism, each over randomized inputs.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.config import (
+    CacheConfig,
+    MachineConfig,
+    NetworkConfig,
+    TopologyConfig,
+)
+from repro.commmodel import MultiNodeModel
+from repro.compmodel import Cache, LineState
+from repro.operations import compute, recv, send
+from repro.pearl import Channel, Simulator
+
+
+# ---------------------------------------------------------------------------
+# Kernel laws
+# ---------------------------------------------------------------------------
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.lists(st.floats(0.01, 50.0), min_size=1, max_size=8),
+                min_size=1, max_size=6))
+def test_kernel_final_time_is_max_process_time(delay_lists):
+    """With independent processes, end time = max of per-process sums."""
+    sim = Simulator()
+
+    def proc(delays):
+        for d in delays:
+            yield d
+
+    for delays in delay_lists:
+        sim.process(proc(list(delays)))
+    end = sim.run()
+    assert end == pytest.approx(max(sum(d) for d in delay_lists))
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.floats(0.01, 100.0), min_size=1, max_size=20))
+def test_kernel_time_monotone(delays):
+    """Observed simulation time never decreases."""
+    sim = Simulator()
+    observed = []
+
+    def proc():
+        for d in delays:
+            yield d
+            observed.append(sim.now)
+
+    sim.process(proc())
+    sim.run()
+    assert observed == sorted(observed)
+
+
+# ---------------------------------------------------------------------------
+# Channel ordering
+# ---------------------------------------------------------------------------
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.integers(0, 1000), min_size=1, max_size=30),
+       st.integers(0, 3))
+def test_channel_fifo_under_any_capacity(messages, cap_choice):
+    """Messages always arrive in send order, whatever the capacity."""
+    sim = Simulator()
+    capacity = [None, 0, 1, 4][cap_choice]
+    ch = Channel(sim, capacity=capacity)
+    got = []
+
+    def sender():
+        for m in messages:
+            yield ch.send(m)
+
+    def receiver():
+        for _ in messages:
+            got.append((yield ch.receive()))
+
+    sim.process(sender())
+    sim.process(receiver())
+    sim.run(check_deadlock=True)
+    assert got == messages
+
+
+# ---------------------------------------------------------------------------
+# Network delivery completeness
+# ---------------------------------------------------------------------------
+
+def _machine(kind, dims, switching):
+    return MachineConfig(
+        name="prop",
+        network=NetworkConfig(
+            topology=TopologyConfig(kind=kind, dims=dims),
+            switching=switching,
+            send_overhead=10.0, recv_overhead=10.0,
+            packet_bytes=128)).validate()
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.data())
+def test_every_message_delivered_exactly_once(data):
+    """Random matched traffic: delivered == injected, conservation."""
+    kind, dims = data.draw(st.sampled_from([
+        ("ring", (5,)), ("mesh", (2, 3)), ("hypercube", (3,))]))
+    switching = data.draw(st.sampled_from(
+        ["store_and_forward", "virtual_cut_through", "wormhole"]))
+    machine = _machine(kind, dims, switching)
+    n = machine.n_nodes
+    n_msgs = data.draw(st.integers(1, 12))
+    pairs = [data.draw(st.tuples(st.integers(0, n - 1),
+                                 st.integers(0, n - 1)))
+             for _ in range(n_msgs)]
+    pairs = [(a, b) for a, b in pairs if a != b]
+    streams = [[] for _ in range(n)]
+    for a, b in pairs:
+        size = data.draw(st.integers(1, 2000))
+        streams[a].append(send(size, b))
+        streams[b].append(recv(a))
+    net = MultiNodeModel(machine)
+    res = net.run(streams)
+    assert res.messages_delivered == len(pairs)
+    assert net.engine.messages_injected == len(pairs)
+    total_sent = sum(nic.stats.messages_sent for nic in net.nics)
+    total_recv = sum(nic.stats.messages_received for nic in net.nics)
+    assert total_sent == total_recv == len(pairs)
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(0, 2 ** 31 - 1))
+def test_network_determinism_over_seeds(seed):
+    """Same machine/traces => identical end time, regardless of host
+    state (the kernel owns all ordering)."""
+    from repro.tracegen import StochasticAppDescription, StochasticGenerator
+    machine = _machine("mesh", (2, 2), "wormhole")
+    gen = StochasticGenerator(StochasticAppDescription(), 4,
+                              seed=seed % 1000)
+    traces = gen.generate_task_level(5)
+    a = MultiNodeModel(machine).run(traces).total_cycles
+    b = MultiNodeModel(machine).run(traces).total_cycles
+    assert a == b
+
+
+# ---------------------------------------------------------------------------
+# Cache inclusion (LRU stack property)
+# ---------------------------------------------------------------------------
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.integers(0, 2047), min_size=1, max_size=300))
+def test_lru_fully_associative_inclusion(addresses):
+    """A larger fully-associative LRU cache never misses more (the
+    classic stack-algorithm inclusion property)."""
+    def misses(size_bytes):
+        cache = Cache(CacheConfig(size_bytes=size_bytes, line_bytes=16,
+                                  associativity=0))
+        for addr in addresses:
+            if not cache.lookup(addr, is_write=False):
+                cache.insert(addr, LineState.SHARED)
+        return cache.stats.misses
+
+    assert misses(256) >= misses(512) >= misses(1024)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.integers(0, 4095), min_size=1, max_size=200))
+def test_cache_miss_count_bounds(addresses):
+    """Misses are at least the number of distinct lines (cold) and at
+    most the number of accesses."""
+    cache = Cache(CacheConfig(size_bytes=512, line_bytes=32,
+                              associativity=2))
+    for addr in addresses:
+        if not cache.lookup(addr, is_write=False):
+            cache.insert(addr, LineState.SHARED)
+    distinct_lines = len({a // 32 for a in addresses})
+    assert distinct_lines <= cache.stats.misses + cache.stats.hits
+    assert cache.stats.misses >= min(distinct_lines, 1)
+    assert cache.stats.misses <= len(addresses)
+
+
+# ---------------------------------------------------------------------------
+# Compute conservation
+# ---------------------------------------------------------------------------
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.lists(st.floats(1.0, 10_000.0), max_size=6),
+                min_size=4, max_size=4))
+def test_compute_cycles_conserved(task_lists):
+    """The network model charges exactly the compute cycles it is fed."""
+    machine = _machine("mesh", (2, 2), "store_and_forward")
+    streams = [[compute(d) for d in tasks] for tasks in task_lists]
+    net = MultiNodeModel(machine)
+    res = net.run(streams)
+    for i, tasks in enumerate(task_lists):
+        assert res.activity[i].compute_cycles == pytest.approx(sum(tasks))
+    assert res.total_cycles == pytest.approx(
+        max((sum(t) for t in task_lists), default=0.0))

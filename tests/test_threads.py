@@ -1,0 +1,218 @@
+"""Node threads, interleaved streams, and the functional executor."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.operations import (
+    OpCode,
+    add,
+    arecv,
+    compute,
+    recv,
+    send,
+)
+from repro.tracegen import (
+    FunctionalExecutor,
+    InterleavedStream,
+    NodeThread,
+    TraceGenerationError,
+)
+
+
+class TestNodeThread:
+    def test_emits_and_finishes(self):
+        def body(th):
+            th.emit(add())
+            th.emit(add())
+        th = NodeThread(0, body)
+        th.advance()
+        assert th.done
+        assert len(th.buffer) == 2
+
+    def test_suspends_at_global_event(self):
+        def body(th):
+            th.emit(add())
+            th.global_event(send(64, 1), payload="data")
+            th.emit(add())
+        th = NodeThread(0, body)
+        th.advance()
+        assert th.state == "suspended"
+        assert th.pending_op.code is OpCode.SEND
+        assert th.pending_payload == "data"
+        assert len(th.buffer) == 1
+        th.advance()
+        assert th.done
+        assert len(th.buffer) == 2
+
+    def test_resume_value_returned(self):
+        got = []
+
+        def body(th):
+            got.append(th.global_event(recv(1)))
+        th = NodeThread(0, body)
+        th.advance()
+        th.advance("payload!")
+        assert got == ["payload!"]
+
+    def test_non_global_event_rejected(self):
+        def body(th):
+            th.global_event(compute(5))
+        th = NodeThread(0, body)
+        with pytest.raises(TraceGenerationError, match="not a global event"):
+            th.advance()
+
+    def test_exception_reported(self):
+        def body(th):
+            raise ValueError("app bug")
+        th = NodeThread(0, body)
+        with pytest.raises(TraceGenerationError, match="app bug"):
+            th.advance()
+
+    def test_advance_after_done_rejected(self):
+        th = NodeThread(0, lambda t: None)
+        th.advance()
+        with pytest.raises(TraceGenerationError):
+            th.advance()
+
+    def test_close_kills_suspended_thread(self):
+        cleanup = []
+
+        def body(th):
+            try:
+                th.global_event(recv(1))
+            finally:
+                cleanup.append(True)
+        th = NodeThread(0, body)
+        th.advance()
+        th.close()
+        assert cleanup == [True]
+
+    def test_close_idle_is_noop(self):
+        th = NodeThread(0, lambda t: None)
+        th.close()       # never started
+
+
+class TestInterleavedStream:
+    def test_full_iteration(self):
+        def body(th):
+            th.emit(add())
+            th.global_event(send(64, 1))
+            th.emit(add())
+            th.emit(add())
+        stream = InterleavedStream(NodeThread(0, body))
+        codes = [op.code for op in stream]
+        assert codes == [OpCode.ADD, OpCode.SEND, OpCode.ADD, OpCode.ADD]
+
+    def test_event_yielded_once(self):
+        def body(th):
+            th.global_event(send(64, 1))
+        stream = InterleavedStream(NodeThread(0, body))
+        ops = list(stream)
+        assert [op.code for op in ops] == [OpCode.SEND]
+
+    def test_thread_not_resumed_until_next_pull(self):
+        """Physical-time interleaving: the thread must stay suspended
+        while the simulator processes its global event."""
+        progress = []
+
+        def body(th):
+            th.global_event(send(64, 1))
+            progress.append("resumed")
+        stream = InterleavedStream(NodeThread(0, body))
+        op = next(stream)
+        assert op.code is OpCode.SEND
+        assert progress == []          # still suspended
+        with pytest.raises(StopIteration):
+            next(stream)
+        assert progress == ["resumed"]
+
+    def test_post_result_reaches_program(self):
+        got = []
+
+        def body(th):
+            got.append(th.global_event(recv(1)))
+        stream = InterleavedStream(NodeThread(0, body))
+        next(stream)                   # the recv op
+        stream.post_result("msg-body")
+        with pytest.raises(StopIteration):
+            next(stream)
+        assert got == ["msg-body"]
+
+    def test_empty_program(self):
+        stream = InterleavedStream(NodeThread(0, lambda t: None))
+        assert list(stream) == []
+
+
+class TestFunctionalExecutor:
+    def test_records_matched_communication(self):
+        def maker(me):
+            def body(th):
+                th.emit(add())
+                if me == 0:
+                    th.global_event(send(64, 1), payload="ping")
+                    got = th.global_event(recv(1))
+                    assert got == "pong"
+                else:
+                    got = th.global_event(recv(0))
+                    assert got == "ping"
+                    th.global_event(send(64, 0), payload="pong")
+            return body
+        ts = FunctionalExecutor([maker(0), maker(1)]).record()
+        assert len(ts) == 2
+        assert ts[0].op_histogram()[OpCode.SEND] == 1
+        assert ts[1].op_histogram()[OpCode.RECV] == 1
+
+    def test_send_never_blocks_in_recording(self):
+        """Buffered semantics: a send with a late receiver still records."""
+        def sender(th):
+            for _ in range(5):
+                th.global_event(send(8, 1))
+
+        def receiver(th):
+            for _ in range(5):
+                th.global_event(recv(0))
+        ts = FunctionalExecutor([sender, receiver]).record()
+        assert ts[0].op_histogram()[OpCode.SEND] == 5
+
+    def test_deadlock_detected(self):
+        def a(th):
+            th.global_event(recv(1))
+
+        def b(th):
+            th.global_event(recv(0))
+        with pytest.raises(TraceGenerationError, match="deadlock"):
+            FunctionalExecutor([a, b]).record()
+
+    def test_arecv_never_blocks(self):
+        got = []
+
+        def a(th):
+            got.append(th.global_event(arecv(1)))
+            th.emit(add())
+
+        def b(th):
+            pass
+        ts = FunctionalExecutor([a, b]).record()
+        assert got == [None]
+        assert ts[0].op_histogram()[OpCode.ARECV] == 1
+
+    def test_fifo_payloads_per_pair(self):
+        got = []
+
+        def sender(th):
+            for i in range(3):
+                th.global_event(send(8, 1), payload=i)
+
+        def receiver(th):
+            for _ in range(3):
+                got.append(th.global_event(recv(0)))
+        FunctionalExecutor([sender, receiver]).record()
+        assert got == [0, 1, 2]
+
+    def test_application_error_propagates(self):
+        def bad(th):
+            th.emit(add())
+            raise RuntimeError("kaboom")
+        with pytest.raises(TraceGenerationError, match="kaboom"):
+            FunctionalExecutor([bad]).record()

@@ -1,0 +1,125 @@
+"""Trace containers: sequences, statistics, file round-trips, streams."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.operations import (
+    ArithType,
+    MemType,
+    OpCode,
+    Operation,
+    Trace,
+    TraceSet,
+    TraceStream,
+    add,
+    compute,
+    ifetch,
+    load,
+    recv,
+    send,
+    store,
+    trace_mix,
+)
+
+
+def sample_ops():
+    return [ifetch(0x400000), load(MemType.FLOAT64, 0x1000),
+            add(ArithType.DOUBLE), store(MemType.FLOAT64, 0x1008),
+            send(256, 1), compute(100.0)]
+
+
+class TestTrace:
+    def test_sequence_protocol(self):
+        t = Trace(0, sample_ops())
+        assert len(t) == 6
+        assert t[0].code is OpCode.IFETCH
+        assert list(t)[-1].code is OpCode.COMPUTE
+        sliced = t[1:3]
+        assert isinstance(sliced, Trace) and len(sliced) == 2
+
+    def test_append_extend(self):
+        t = Trace(2)
+        t.append(ifetch(0))
+        t.extend([add(), add()])
+        assert len(t) == 3 and t.node == 2
+
+    def test_histogram_and_counts(self):
+        t = Trace(0, sample_ops())
+        hist = t.op_histogram()
+        assert hist[OpCode.IFETCH] == 1
+        assert hist[OpCode.SEND] == 1
+        assert t.computational_count == 4
+        assert t.communication_count == 2
+        assert t.bytes_sent == 256
+
+    def test_trace_mix_sums_to_one(self):
+        mix = trace_mix(Trace(0, sample_ops()))
+        assert sum(mix.values()) == pytest.approx(1.0)
+        assert trace_mix(Trace(0)) == {}
+
+    def test_equality(self):
+        assert Trace(0, sample_ops()) == Trace(0, sample_ops())
+        assert Trace(0, sample_ops()) != Trace(1, sample_ops())
+
+    def test_save_load_round_trip(self, tmp_path):
+        t = Trace(3, sample_ops())
+        path = str(tmp_path / "trace.npz")
+        t.save(path)
+        loaded = Trace.load(path)
+        assert loaded == t
+
+    @given(st.lists(st.sampled_from([
+        ifetch(4), load(MemType.INT32, 8), add(ArithType.INT),
+        send(64, 1), recv(1), compute(5.5)]), max_size=60))
+    def test_array_round_trip_property(self, ops):
+        t = Trace(0, ops)
+        again = Trace.from_arrays(0, t.to_arrays())
+        assert again == t
+
+
+class TestTraceSet:
+    def test_ordering_enforced(self):
+        with pytest.raises(ValueError):
+            TraceSet([Trace(1), Trace(0)])
+
+    def test_from_lists(self):
+        ts = TraceSet.from_lists([[ifetch(0)], [add()], []])
+        assert len(ts) == 3
+        assert ts[1][0].code is OpCode.ADD
+        assert ts.total_ops == 2
+
+    def test_histogram_aggregates(self):
+        ts = TraceSet.from_lists([[add(), add()], [add()]])
+        assert ts.op_histogram()[OpCode.ADD] == 3
+
+    def test_save_load_round_trip(self, tmp_path):
+        ts = TraceSet.from_lists([sample_ops(), [], [compute(1.0)]])
+        path = str(tmp_path / "traces.npz")
+        ts.save(path)
+        loaded = TraceSet.load(path)
+        assert len(loaded) == 3
+        for a, b in zip(loaded, ts):
+            assert a == b
+
+
+class TestTraceStream:
+    def test_iterates_and_counts(self):
+        stream = TraceStream(0, iter(sample_ops()))
+        ops = list(stream)
+        assert len(ops) == 6
+        assert stream.consumed == 6
+
+    def test_materialize(self):
+        stream = TraceStream(1, iter(sample_ops()))
+        next(stream)   # consume one
+        t = stream.materialize()
+        assert t.node == 1
+        assert len(t) == 5
+        assert stream.consumed == 6
+
+    def test_single_use(self):
+        stream = TraceStream(0, iter([add()]))
+        assert list(stream) == [add()]
+        assert list(stream) == []

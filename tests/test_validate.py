@@ -1,0 +1,93 @@
+"""Trace validation: structural checks and communication matching."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.operations import (
+    MemType,
+    Operation,
+    OpCode,
+    Trace,
+    TraceSet,
+    ValidationError,
+    arecv,
+    asend,
+    communication_matrix,
+    compute,
+    load,
+    recv,
+    send,
+    validate_trace,
+    validate_trace_set,
+)
+
+
+class TestValidateTrace:
+    def test_valid_trace_passes(self):
+        validate_trace(Trace(0, [send(64, 1), recv(1), compute(10)]),
+                       n_nodes=2)
+
+    def test_self_communication_rejected(self):
+        with pytest.raises(ValidationError, match="self-communication"):
+            validate_trace(Trace(0, [send(64, 0)]), n_nodes=2)
+
+    def test_peer_out_of_range(self):
+        with pytest.raises(ValidationError, match="out of range"):
+            validate_trace(Trace(0, [recv(5)]), n_nodes=2)
+
+    def test_negative_peer(self):
+        with pytest.raises(ValidationError, match="out of range"):
+            validate_trace(Trace(0, [recv(-1)]))
+
+    def test_negative_address(self):
+        bad = Operation(OpCode.LOAD, int(MemType.INT32), -8)
+        with pytest.raises(ValidationError, match="negative address"):
+            validate_trace(Trace(0, [bad]))
+
+    def test_no_n_nodes_skips_range_check(self):
+        validate_trace(Trace(0, [send(64, 99)]))   # range unknown: OK
+
+
+class TestValidateTraceSet:
+    def test_matched_set_passes(self):
+        ts = TraceSet.from_lists([
+            [send(64, 1)],
+            [recv(0), asend(32, 0)],
+        ])
+        # node 0 must also receive node 1's asend for matching:
+        with pytest.raises(ValidationError):
+            validate_trace_set(ts)
+        ts = TraceSet.from_lists([
+            [send(64, 1), arecv(1)],
+            [recv(0), asend(32, 0)],
+        ])
+        validate_trace_set(ts)
+
+    def test_unmatched_send_detected(self):
+        ts = TraceSet.from_lists([[send(64, 1)], []])
+        with pytest.raises(ValidationError, match="unmatched"):
+            validate_trace_set(ts)
+
+    def test_unmatched_recv_detected(self):
+        ts = TraceSet.from_lists([[], [recv(0)]])
+        with pytest.raises(ValidationError, match="unmatched"):
+            validate_trace_set(ts)
+
+    def test_check_matched_false_skips(self):
+        ts = TraceSet.from_lists([[send(64, 1)], []])
+        validate_trace_set(ts, check_matched=False)
+
+
+class TestCommunicationMatrix:
+    def test_counts(self):
+        ts = TraceSet.from_lists([
+            [send(64, 1), send(64, 1), recv(1)],
+            [recv(0), recv(0), send(8, 0)],
+        ])
+        sends, recvs = communication_matrix(ts)
+        assert sends[0][1] == 2
+        assert recvs[0][1] == 2
+        assert sends[1][0] == 1
+        assert recvs[1][0] == 1
+        assert sends[0][0] == 0

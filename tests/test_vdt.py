@@ -1,0 +1,121 @@
+"""Variable descriptor table: declaration, scopes, registers, addresses."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.operations import MemType
+from repro.tracegen import (
+    TargetABI,
+    VariableDescriptorTable,
+    VarKind,
+    VDTError,
+)
+
+
+class TestDeclaration:
+    def test_global_gets_data_address(self):
+        vdt = VariableDescriptorTable()
+        v = vdt.declare("g", VarKind.GLOBAL, MemType.FLOAT64, 10)
+        assert not v.in_register
+        assert v.address >= vdt.abi.data_base
+        assert v.size_bytes == 80
+
+    def test_globals_do_not_overlap(self):
+        vdt = VariableDescriptorTable()
+        a = vdt.declare("a", VarKind.GLOBAL, MemType.FLOAT64, 4)
+        b = vdt.declare("b", VarKind.GLOBAL, MemType.INT32, 4)
+        assert b.address >= a.address + a.size_bytes
+
+    def test_alignment(self):
+        vdt = VariableDescriptorTable()
+        vdt.declare("c", VarKind.GLOBAL, MemType.INT8, 3)
+        d = vdt.declare("d", VarKind.GLOBAL, MemType.FLOAT64, 1)
+        assert d.address % 8 == 0
+
+    def test_scalar_local_gets_register(self):
+        vdt = VariableDescriptorTable()
+        v = vdt.declare("i", VarKind.LOCAL, MemType.INT32)
+        assert v.in_register
+
+    def test_array_local_goes_to_stack(self):
+        vdt = VariableDescriptorTable()
+        v = vdt.declare("buf", VarKind.LOCAL, MemType.FLOAT64, 16)
+        assert not v.in_register
+        assert v.address >= vdt.abi.stack_base
+
+    def test_register_exhaustion_spills_to_stack(self):
+        abi = TargetABI(n_int_registers=2, n_float_registers=1)
+        vdt = VariableDescriptorTable(abi)
+        regs = [vdt.declare(f"i{k}", VarKind.LOCAL, MemType.INT32)
+                for k in range(3)]
+        assert [v.in_register for v in regs] == [True, True, False]
+        f = [vdt.declare(f"f{k}", VarKind.LOCAL, MemType.FLOAT64)
+             for k in range(2)]
+        assert [v.in_register for v in f] == [True, False]
+
+    def test_duplicate_rejected(self):
+        vdt = VariableDescriptorTable()
+        vdt.declare("x", VarKind.LOCAL, MemType.INT32)
+        with pytest.raises(VDTError):
+            vdt.declare("x", VarKind.LOCAL, MemType.INT32)
+
+    def test_zero_elements_rejected(self):
+        vdt = VariableDescriptorTable()
+        with pytest.raises(VDTError):
+            vdt.declare("z", VarKind.LOCAL, MemType.INT32, 0)
+
+    def test_element_address(self):
+        vdt = VariableDescriptorTable()
+        v = vdt.declare("arr", VarKind.GLOBAL, MemType.FLOAT64, 8)
+        assert v.element_address(3) == v.address + 24
+        with pytest.raises(VDTError):
+            v.element_address(8)
+        with pytest.raises(VDTError):
+            v.element_address(-1)
+
+
+class TestScopes:
+    def test_shadowing(self):
+        vdt = VariableDescriptorTable()
+        outer = vdt.declare("x", VarKind.GLOBAL, MemType.INT32)
+        vdt.push_scope()
+        inner = vdt.declare("x", VarKind.LOCAL, MemType.FLOAT64)
+        assert vdt.lookup("x") is inner
+        vdt.pop_scope()
+        assert vdt.lookup("x") is outer
+
+    def test_scope_frees_registers(self):
+        abi = TargetABI(n_int_registers=1, n_float_registers=0)
+        vdt = VariableDescriptorTable(abi)
+        vdt.declare("a", VarKind.LOCAL, MemType.INT32)     # takes the reg
+        vdt.push_scope()
+        # Fresh frame: full register budget again.
+        b = vdt.declare("b", VarKind.LOCAL, MemType.INT32)
+        assert b.in_register
+        vdt.pop_scope()
+
+    def test_pop_outermost_rejected(self):
+        vdt = VariableDescriptorTable()
+        with pytest.raises(VDTError):
+            vdt.pop_scope()
+
+    def test_undeclared_lookup(self):
+        vdt = VariableDescriptorTable()
+        with pytest.raises(VDTError):
+            vdt.lookup("ghost")
+        assert "ghost" not in vdt
+
+    def test_len_and_contains(self):
+        vdt = VariableDescriptorTable()
+        vdt.declare("g", VarKind.GLOBAL, MemType.INT32)
+        vdt.push_scope()
+        vdt.declare("l", VarKind.LOCAL, MemType.INT32)
+        assert len(vdt) == 2
+        assert "g" in vdt and "l" in vdt
+
+    def test_globals_visible_in_scope(self):
+        vdt = VariableDescriptorTable()
+        g = vdt.declare("shared", VarKind.GLOBAL, MemType.FLOAT64)
+        vdt.push_scope()
+        assert vdt.lookup("shared") is g
