@@ -7,13 +7,21 @@ simulated completion time and message latency — the network design
 study the template exists for.  Shape checks: richer topologies finish
 the all-to-all sooner; pipelined switching beats store-and-forward on
 multi-hop paths.
+
+The 15-point topology x switching cross product is expressed as a
+two-axis :class:`~repro.core.experiment.Sweep` and fanned out over
+worker processes; determinism makes the rows identical to a serial
+run.  ``REPRO_SWEEP_WORKERS=1`` forces serial execution and
+``REPRO_SWEEP_CACHE`` enables cross-run result reuse.
 """
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
-from repro import Workbench, generic_multicomputer
+from repro import Sweep, Workbench, generic_multicomputer
 from repro.analysis import format_table
 from repro.apps import alltoall_task_traces, pingpong_task_traces
 from repro.core.results import ExperimentRecord
@@ -25,34 +33,51 @@ TOPOLOGIES = [
     ("hypercube", (4,)),
     ("fat_tree", (2, 4)),     # 16 leaves + 15 switches (extension)
 ]
+TOPOLOGY_DIMS = dict(TOPOLOGIES)
 SWITCHINGS = ["store_and_forward", "virtual_cut_through", "wormhole"]
+
+WORKERS = int(os.environ.get("REPRO_SWEEP_WORKERS",
+                             str(min(4, os.cpu_count() or 1))))
+CACHE_DIR = os.environ.get("REPRO_SWEEP_CACHE")
+
+
+def set_topology(machine, kind: str) -> None:
+    machine.network.topology.kind = kind
+    machine.network.topology.dims = TOPOLOGY_DIMS[kind]
+    # Dimension order is undefined on trees; use the table.
+    machine.network.routing = ("shortest_path" if kind == "fat_tree"
+                               else "dimension_order")
+
+
+def set_switching(machine, switching: str) -> None:
+    machine.network.switching = switching
+
+
+def run_network_point(machine) -> dict:
+    n = machine.n_nodes
+    wb = Workbench(machine)
+    a2a = wb.run_comm_only(alltoall_task_traces(
+        n, block_bytes=1024, rounds=2, compute_cycles=2_000.0))
+    # Long-haul single-packet ping-pong (latency, not throughput):
+    # the farthest partner; on a ring n-1 is adjacent, use n/2.
+    far = n // 2 if machine.network.topology.kind == "ring" else n - 1
+    pp = wb.run_comm_only(pingpong_task_traces(
+        n, size=200, repeats=4, b=far))
+    return {
+        "alltoall_cycles": a2a.total_cycles,
+        "pingpong_latency": pp.message_latency.mean,
+        "max_link_util": max(a2a.link_utilization.values()),
+    }
 
 
 def sweep() -> list[dict]:
-    rows = []
-    for kind, dims in TOPOLOGIES:
-        for switching in SWITCHINGS:
-            machine = generic_multicomputer(kind, dims, switching=switching)
-            if kind == "fat_tree":
-                # Dimension order is undefined on trees; use the table.
-                machine.network.routing = "shortest_path"
-            n = machine.n_nodes
-            wb = Workbench(machine)
-            a2a = wb.run_comm_only(alltoall_task_traces(
-                n, block_bytes=1024, rounds=2, compute_cycles=2_000.0))
-            # Long-haul single-packet ping-pong (latency, not throughput):
-            # the farthest partner; on a ring n-1 is adjacent, use n/2.
-            far = n // 2 if kind == "ring" else n - 1
-            pp = wb.run_comm_only(pingpong_task_traces(
-                n, size=200, repeats=4, b=far))
-            rows.append({
-                "topology": kind,
-                "switching": switching,
-                "alltoall_cycles": a2a.total_cycles,
-                "pingpong_latency": pp.message_latency.mean,
-                "max_link_util": max(a2a.link_utilization.values()),
-            })
-    return rows
+    design_space = (
+        Sweep(generic_multicomputer("mesh", (4, 4)), "fig3b")
+        .axis("topology", set_topology, [kind for kind, _ in TOPOLOGIES])
+        .axis("switching", set_switching, SWITCHINGS))
+    return design_space.run(run_network_point, workers=WORKERS,
+                            cache=CACHE_DIR,
+                            workload_id="fig3b-a2a1k-pp200")
 
 
 @pytest.mark.benchmark(group="fig3b")

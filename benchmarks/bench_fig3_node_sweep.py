@@ -7,9 +7,16 @@ workload and reports predicted cycles/CPI — the workbench usage the
 template exists for.  Shape checks: bigger caches and higher
 associativity never hurt; a split L1 beats a thrashing unified one for
 a mixed instruction/data working set.
+
+The sweeps fan out over worker processes (``Sweep.run(workers=...)``);
+the Pearl kernel's determinism keeps the rows identical to a serial
+run.  Set ``REPRO_SWEEP_WORKERS=1`` to force serial execution, or
+``REPRO_SWEEP_CACHE`` to a directory to reuse results across runs.
 """
 
 from __future__ import annotations
+
+import os
 
 import pytest
 
@@ -33,6 +40,15 @@ def workload():
 
 TRACE = workload()
 
+WORKERS = int(os.environ.get("REPRO_SWEEP_WORKERS",
+                             str(min(4, os.cpu_count() or 1))))
+CACHE_DIR = os.environ.get("REPRO_SWEEP_CACHE")
+
+
+def run_sweep(sweep: Sweep, workload_id: str) -> list[dict]:
+    return sweep.run(run_node, workers=WORKERS, cache=CACHE_DIR,
+                     workload_id=workload_id)
+
 
 def run_node(machine) -> dict:
     res = Workbench(machine).run_single_node(TRACE)
@@ -48,7 +64,7 @@ def sweep_cache_size() -> list[dict]:
 
     sweep = Sweep(powerpc601_node()).axis("l1_kib", set_size,
                                           [4, 8, 16, 32, 64, 128])
-    return sweep.run(run_node)
+    return run_sweep(sweep, "fig3a-40k-stochastic")
 
 
 def sweep_associativity() -> list[dict]:
@@ -57,7 +73,7 @@ def sweep_associativity() -> list[dict]:
 
     sweep = Sweep(powerpc601_node()).axis("l1_ways", set_assoc,
                                           [1, 2, 4, 8])
-    return sweep.run(run_node)
+    return run_sweep(sweep, "fig3a-40k-stochastic")
 
 
 def sweep_memory_latency() -> list[dict]:
@@ -66,7 +82,7 @@ def sweep_memory_latency() -> list[dict]:
 
     sweep = Sweep(powerpc601_node()).axis("dram_access_cycles", set_mem,
                                           [10, 20, 40, 80])
-    return sweep.run(run_node)
+    return run_sweep(sweep, "fig3a-40k-stochastic")
 
 
 @pytest.mark.benchmark(group="fig3a")

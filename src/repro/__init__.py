@@ -32,6 +32,7 @@ Package map (see DESIGN.md for the full inventory):
 * :mod:`repro.apps`       — instrumentation API + reference workloads
 * :mod:`repro.analysis`   — slowdown, timelines, statistics, reports
 * :mod:`repro.core`       — configuration, Workbench facade, experiments
+* :mod:`repro.parallel`   — parallel sweep execution + result caching
 """
 
 from .core.config import (
@@ -47,6 +48,7 @@ from .core.config import (
 )
 from .core.experiment import Sweep, vary_machine
 from .core.workbench import Workbench
+from .parallel import ParallelSweepRunner, ResultCache
 from .machines.presets import (
     generic_multicomputer,
     powerpc601_node,
@@ -59,7 +61,7 @@ __version__ = "1.0.0"
 __all__ = [
     "BusConfig", "CPUConfig", "CacheConfig", "CacheLevelConfig",
     "MachineConfig", "MemoryConfig", "NetworkConfig", "NodeConfig",
-    "Sweep", "TopologyConfig", "Workbench", "__version__",
-    "generic_multicomputer", "powerpc601_node", "smp_node", "t805_grid",
-    "vary_machine",
+    "ParallelSweepRunner", "ResultCache", "Sweep", "TopologyConfig",
+    "Workbench", "__version__", "generic_multicomputer", "powerpc601_node",
+    "smp_node", "t805_grid", "vary_machine",
 ]

@@ -7,6 +7,9 @@ no-code-needed tasks:
 * ``calibrate``   — run the calibration micro-benchmarks on a preset;
 * ``slowdown``    — measure detailed- and task-level slowdown (Sec 6);
 * ``stochastic``  — fast-prototype a preset under a synthetic workload;
+* ``sweep``       — parameter sweep over a preset, optionally fanned
+  out over worker processes (``--workers``) with content-addressed
+  result caching (``--cache-dir``);
 * ``trace``       — profile (or dump) a saved ``.npz`` trace set.
 
 Machines are named by preset, with overrides as ``key=value`` pairs
@@ -54,12 +57,8 @@ def _fattree() -> MachineConfig:
     return machine.validate()
 
 
-def _apply_override(machine: MachineConfig, spec: str) -> None:
-    """Apply one ``dotted.path=value`` override onto the config."""
-    try:
-        path, raw = spec.split("=", 1)
-    except ValueError:
-        raise SystemExit(f"bad override {spec!r}; expected key=value")
+def _resolve_path(machine: MachineConfig, path: str):
+    """Walk a ``dotted.path`` into the config; return (target, leaf)."""
     target = machine
     parts = path.split(".")
     for part in parts[:-1]:
@@ -69,19 +68,46 @@ def _apply_override(machine: MachineConfig, spec: str) -> None:
     leaf = parts[-1]
     if not hasattr(target, leaf):
         raise SystemExit(f"unknown config path {path!r}")
-    current = getattr(target, leaf)
-    value: object
+    return target, leaf
+
+
+def _parse_value(current: object, raw: str) -> object:
+    """Parse ``raw`` to the type of the attribute's current value."""
     if isinstance(current, bool):
-        value = raw.lower() in ("1", "true", "yes")
-    elif isinstance(current, int):
-        value = int(raw)
-    elif isinstance(current, float):
-        value = float(raw)
-    elif isinstance(current, tuple):
-        value = tuple(int(x) for x in raw.split(","))
-    else:
-        value = raw
-    setattr(target, leaf, value)
+        return raw.lower() in ("1", "true", "yes")
+    if isinstance(current, int):
+        return int(raw)
+    if isinstance(current, float):
+        return float(raw)
+    if isinstance(current, tuple):
+        return tuple(int(x) for x in raw.split(","))
+    return raw
+
+
+def _split_spec(spec: str) -> tuple[str, str]:
+    try:
+        path, raw = spec.split("=", 1)
+    except ValueError:
+        raise SystemExit(f"bad override {spec!r}; expected key=value")
+    return path, raw
+
+
+def _apply_override(machine: MachineConfig, spec: str) -> None:
+    """Apply one ``dotted.path=value`` override onto the config."""
+    path, raw = _split_spec(spec)
+    target, leaf = _resolve_path(machine, path)
+    setattr(target, leaf, _parse_value(getattr(target, leaf), raw))
+
+
+class _AxisSetter:
+    """Picklable sweep mutator: set one dotted config path per variant."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+
+    def __call__(self, machine: MachineConfig, value: object) -> None:
+        target, leaf = _resolve_path(machine, self.path)
+        setattr(target, leaf, value)
 
 
 def build_machine(preset: str, overrides: Sequence[str] = ()) -> MachineConfig:
@@ -160,6 +186,56 @@ def _cmd_stochastic(args: argparse.Namespace) -> int:
     return 0
 
 
+def _sweep_point_runner(machine: MachineConfig, workload: Optional[str],
+                        rounds: int, seed: int) -> dict:
+    """Per-variant runner for ``repro sweep`` (module-level: picklable)."""
+    from .tracegen import WORKLOAD_CLASSES
+    desc = (WORKLOAD_CLASSES[workload]() if workload
+            else StochasticAppDescription())
+    res = Workbench(machine).run_stochastic(desc, level="task",
+                                            rounds=rounds, seed=seed)
+    return {
+        "total_cycles": res.total_cycles,
+        "mean_latency": res.message_latency.mean,
+        "time_ms": res.total_cycles / machine.node.cpu.clock_hz * 1e3,
+    }
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    import functools
+
+    from .core.experiment import Sweep
+    from .parallel import ResultCache
+
+    if args.workers < 1:
+        raise SystemExit(f"--workers must be >= 1, got {args.workers}")
+    machine = build_machine(args.preset, args.set or ())
+    sweep = Sweep(machine, label=args.preset)
+    for spec in args.axis:
+        path, raw = _split_spec(spec)
+        target, leaf = _resolve_path(machine, path)
+        current = getattr(target, leaf)
+        try:
+            values = [_parse_value(current, v) for v in raw.split(",")]
+        except ValueError as exc:
+            raise SystemExit(f"bad axis value in {spec!r}: {exc}")
+        sweep.axis(path, _AxisSetter(path), values)
+
+    cache = ResultCache(args.cache_dir) if args.cache_dir else None
+    runner = functools.partial(_sweep_point_runner, workload=args.workload,
+                               rounds=args.rounds, seed=args.seed)
+    workload_id = (f"cli-stochastic:{args.workload or 'generic'}"
+                   f":rounds={args.rounds}:seed={args.seed}")
+    rows = sweep.run(runner, workers=args.workers, cache=cache,
+                     workload_id=workload_id)
+    print(format_table(
+        rows, title=f"sweep of {args.preset} "
+                    f"({len(rows)} variants, workers={args.workers}):"))
+    if cache is not None:
+        print(f"cache: {cache.stats.format()} (dir={args.cache_dir})")
+    return 0
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     traces = TraceSet.load(args.path)
     rows = trace_set_profile(traces)
@@ -206,6 +282,27 @@ def _parser() -> argparse.ArgumentParser:
                            help="use a workload-class preset instead of "
                                 "the generic description")
 
+    p = sub.add_parser(
+        "sweep", help="parameter sweep over a preset (parallel, cached)")
+    p.add_argument("preset", choices=sorted(PRESETS))
+    p.add_argument("--axis", action="append", required=True,
+                   metavar="PATH=V1,V2,...",
+                   help="sweep axis, e.g. network.link_bandwidth=1,2,4,8 "
+                        "(repeat for a cross product)")
+    p.add_argument("--set", action="append", metavar="PATH=VALUE",
+                   help="fixed config override applied before sweeping")
+    p.add_argument("--workers", type=int, default=1, metavar="N",
+                   help="process-pool size (default 1 = serial)")
+    p.add_argument("--cache-dir", default=None, metavar="DIR",
+                   help="content-addressed result cache; re-runs only "
+                        "simulate changed variants")
+    p.add_argument("--rounds", type=int, default=30)
+    p.add_argument("--seed", type=int, default=0)
+    from .tracegen import WORKLOAD_CLASSES as _wl
+    p.add_argument("--workload", choices=sorted(_wl), default=None,
+                   help="workload-class preset (default: generic "
+                        "stochastic description)")
+
     p = sub.add_parser("trace", help="profile a saved .npz trace set")
     p.add_argument("path")
     p.add_argument("--dump", type=int, default=None, metavar="N",
@@ -219,6 +316,7 @@ _COMMANDS = {
     "calibrate": _cmd_calibrate,
     "slowdown": _cmd_slowdown,
     "stochastic": _cmd_stochastic,
+    "sweep": _cmd_sweep,
     "trace": _cmd_trace,
 }
 

@@ -75,14 +75,36 @@ class Sweep:
             machine.validate()
         return points
 
-    def run(self, runner: Runner) -> list[dict]:
+    def run(self, runner: Runner, *, workers: int | None = None,
+            cache: Any = None, workload_id: str | None = None,
+            on_error: str = "capture") -> list[dict]:
         """Run ``runner(machine) -> metrics`` at every point.
 
         Returns one row per point: sweep coordinates merged with the
-        runner's metric dict.
+        runner's metric dict.  Rows always come back in point order.
+
+        ``workers``
+            fan the points out over a process pool of that size
+            (``None``/1 = serial, in-process).  The Pearl kernel is
+            deterministic, so parallel rows are identical to serial
+            ones (``tests/test_parallel_sweep.py`` asserts this).
+        ``cache``
+            a :class:`repro.parallel.ResultCache` (or a directory
+            path) keyed by ``(machine, workload id, code version)``;
+            variants with a cached row are not simulated again.
+        ``workload_id``
+            cache-key component naming the workload; defaults to the
+            runner's qualified name.
+        ``on_error``
+            ``"capture"`` (default) turns a variant failure into a
+            ``{**coords, "error": "Type: msg"}`` row so one sick
+            config cannot lose the rest of an overnight sweep;
+            ``"raise"`` aborts with
+            :class:`repro.parallel.SweepVariantError`.
         """
-        rows = []
-        for coords, machine in self.points():
-            metrics = runner(machine)
-            rows.append({**coords, **metrics})
-        return rows
+        from ..parallel import ParallelSweepRunner, ResultCache
+        if cache is not None and not isinstance(cache, ResultCache):
+            cache = ResultCache(cache)
+        pool = ParallelSweepRunner(workers=workers or 1, cache=cache)
+        return pool.run(runner, self.points(), workload_id=workload_id,
+                        on_error=on_error)

@@ -22,7 +22,10 @@ mode                   input (application level)               accuracy/cost
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, Optional, Sequence, Union
+from typing import TYPE_CHECKING, Callable, Iterable, Optional, Sequence, Union
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .experiment import Sweep
 
 from ..commmodel.network import CommResult, MultiNodeModel
 from ..compmodel.node import NodeResult, SingleNodeModel
@@ -135,6 +138,24 @@ class Workbench:
             application = ThreadedApplication(application, self.n_nodes)
         model = VSMModel(self.machine, vsm_config)
         return model.run_application(application)
+
+    # -- design-space sweeps -------------------------------------------------
+
+    def sweep(self, label: str = "") -> "Sweep":
+        """A :class:`~repro.core.experiment.Sweep` rooted at this machine.
+
+        ::
+
+            rows = (wb.sweep("l1 study")
+                      .axis("l1_kib", set_l1, [8, 16, 32])
+                      .run(run_node, workers=4, cache="~/.cache/repro"))
+
+        ``Sweep.run`` accepts ``workers=`` (process-pool fan-out) and
+        ``cache=`` (content-addressed result reuse); see
+        :mod:`repro.parallel`.
+        """
+        from .experiment import Sweep
+        return Sweep(self.machine, label)
 
     # -- trace recording -----------------------------------------------------------
 

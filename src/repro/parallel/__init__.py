@@ -1,0 +1,29 @@
+"""Parallel sweep execution and content-addressed result caching.
+
+The workbench's design-space sweeps are embarrassingly parallel and —
+thanks to the Pearl kernel's deterministic event ordering — bit-for-bit
+reproducible, so this package makes them fast without making them less
+trustworthy:
+
+* :class:`ParallelSweepRunner` — fan machine variants out over a
+  process pool; ordered results, per-variant error capture;
+* :class:`ResultCache` — skip variants whose
+  ``(machine, workload, code version)`` hash already has a row;
+* :func:`result_key` / :func:`code_version` — the cache key scheme.
+
+Normally reached through ``Sweep.run(runner, workers=..., cache=...)``
+(see :mod:`repro.core.experiment`) or the ``repro sweep`` CLI command.
+"""
+
+from .cache import CacheStats, ResultCache, code_version, result_key
+from .runner import (
+    ParallelSweepRunner,
+    SweepVariantError,
+    default_workload_id,
+    execute_variant,
+)
+
+__all__ = [
+    "CacheStats", "ParallelSweepRunner", "ResultCache", "SweepVariantError",
+    "code_version", "default_workload_id", "execute_variant", "result_key",
+]

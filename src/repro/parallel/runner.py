@@ -1,0 +1,177 @@
+"""Parallel execution of design-space sweeps.
+
+"The evaluation of a wide range of architectural design tradeoffs"
+means running the same workload on many machine variants — trivially
+parallel work that :class:`ParallelSweepRunner` fans out over a
+:class:`concurrent.futures.ProcessPoolExecutor`:
+
+* every variant runs in its own interpreter, so the Pearl kernel's
+  deterministic schedule (global monotone sequence tie-breaking) makes
+  parallel results bit-identical to serial ones;
+* results are collected **in submission order**, never completion
+  order, so row order matches the serial path;
+* a variant whose runner raises is captured as an error row instead of
+  killing the sweep (``on_error="capture"``), so an overnight sweep
+  survives one sick configuration;
+* an optional :class:`~repro.parallel.cache.ResultCache` short-circuits
+  variants whose ``(machine, workload, code)`` key already has a row.
+
+The runner callable and the machine configs must be picklable (a
+module-level function, or a :func:`functools.partial` over one).  On
+platforms with ``fork`` the pool inherits the parent's modules, so
+runners defined in test or benchmark modules work unchanged.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pickle
+from concurrent.futures import BrokenExecutor, Future, ProcessPoolExecutor
+from typing import Any, Callable, Optional, Sequence
+
+from ..core.config import MachineConfig
+from .cache import ResultCache
+
+__all__ = ["ParallelSweepRunner", "SweepVariantError", "default_workload_id",
+           "execute_variant"]
+
+Runner = Callable[[MachineConfig], dict]
+#: one sweep point: (coordinates, machine variant)
+Point = tuple[dict, MachineConfig]
+
+
+def default_workload_id(runner: Runner) -> str:
+    """A workload id derived from the runner's qualified name.
+
+    Good enough when the runner closes over a fixed workload; pass an
+    explicit ``workload_id`` when the same function runs different
+    workloads (the name does not hash the workload's *content* — only
+    :func:`~repro.parallel.cache.code_version` tracks code changes).
+    """
+    func = runner
+    while hasattr(func, "func"):          # unwrap functools.partial
+        func = func.func
+    module = getattr(func, "__module__", "?")
+    name = getattr(func, "__qualname__", repr(func))
+    return f"{module}.{name}"
+
+
+def execute_variant(runner: Runner, machine: MachineConfig
+                    ) -> tuple[str, Any]:
+    """Run one variant, capturing any exception.
+
+    Returns ``("ok", metrics)`` or ``("error", "Type: message")``.
+    Shared by the serial and parallel paths so both capture failures
+    identically.
+    """
+    try:
+        metrics = runner(machine)
+    except Exception as exc:              # noqa: BLE001 - captured by design
+        return "error", f"{type(exc).__name__}: {exc}"
+    if not isinstance(metrics, dict):
+        return "error", (f"TypeError: runner returned "
+                         f"{type(metrics).__name__}, expected dict")
+    return "ok", metrics
+
+
+def _mp_context() -> Optional[multiprocessing.context.BaseContext]:
+    """Prefer ``fork``: children inherit imported modules, so runners
+    defined in non-importable modules (pytest files) still unpickle."""
+    if "fork" in multiprocessing.get_all_start_methods():
+        return multiprocessing.get_context("fork")
+    return None  # pragma: no cover - non-POSIX platforms
+
+
+class ParallelSweepRunner:
+    """Fan a sweep's points out over worker processes, with caching.
+
+    ::
+
+        runner = ParallelSweepRunner(workers=8, cache=ResultCache(dir))
+        rows = runner.run(run_node, sweep.points())
+
+    ``workers=1`` executes in-process (no pool), which is also the
+    fallback when a pool cannot be created.  Rows come back in point
+    order; failed variants become ``{**coords, "error": ...}`` rows
+    unless ``on_error="raise"``.
+    """
+
+    def __init__(self, workers: Optional[int] = None,
+                 cache: Optional[ResultCache] = None) -> None:
+        if workers is not None and workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = workers if workers is not None \
+            else (os.cpu_count() or 1)
+        self.cache = cache
+
+    def run(self, runner: Runner, points: Sequence[Point], *,
+            workload_id: Optional[str] = None,
+            on_error: str = "capture") -> list[dict]:
+        """One metric row per point, in point order."""
+        if on_error not in ("capture", "raise"):
+            raise ValueError(f"on_error must be 'capture' or 'raise', "
+                             f"got {on_error!r}")
+        wid = workload_id or default_workload_id(runner)
+        rows: list[Optional[dict]] = [None] * len(points)
+
+        pending: list[tuple[int, str]] = []   # (point index, cache key)
+        for idx, (coords, machine) in enumerate(points):
+            key = ""
+            if self.cache is not None:
+                key = self.cache.key_for(machine, wid)
+                cached = self.cache.get(key)
+                if cached is not None:
+                    rows[idx] = {**coords, **cached}
+                    continue
+            pending.append((idx, key))
+
+        if pending:
+            outcomes = self._execute(runner, [points[i][1]
+                                              for i, _ in pending])
+            for (idx, key), (status, payload) in zip(pending, outcomes):
+                coords, machine = points[idx]
+                if status == "ok":
+                    if self.cache is not None:
+                        self.cache.put(key, payload, meta={
+                            "machine": machine.name, "workload_id": wid})
+                    rows[idx] = {**coords, **payload}
+                elif on_error == "raise":
+                    raise SweepVariantError(coords, payload)
+                else:
+                    rows[idx] = {**coords, "error": payload}
+        return rows  # type: ignore[return-value]
+
+    def _execute(self, runner: Runner,
+                 machines: Sequence[MachineConfig]
+                 ) -> list[tuple[str, Any]]:
+        n_workers = min(self.workers, len(machines))
+        if n_workers <= 1:
+            return [execute_variant(runner, m) for m in machines]
+        try:
+            with ProcessPoolExecutor(max_workers=n_workers,
+                                     mp_context=_mp_context()) as pool:
+                futures: list[Future] = [
+                    pool.submit(execute_variant, runner, m)
+                    for m in machines]
+                return [f.result() for f in futures]
+        except (OSError, ImportError, BrokenExecutor,
+                pickle.PicklingError, AttributeError, TypeError):
+            # Pool infrastructure failed (no fork support, unpicklable
+            # runner, dead workers) — runner exceptions never surface
+            # here, execute_variant captures them.  Simulations are
+            # pure, so falling back to in-process execution is safe.
+            return [execute_variant(runner, m) for m in machines]
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"<ParallelSweepRunner workers={self.workers} "
+                f"cache={self.cache!r}>")
+
+
+class SweepVariantError(RuntimeError):
+    """A variant failed and the sweep was run with ``on_error='raise'``."""
+
+    def __init__(self, coords: dict, message: str) -> None:
+        super().__init__(f"sweep variant {coords!r} failed: {message}")
+        self.coords = coords
+        self.message = message

@@ -100,3 +100,41 @@ class TestWorkloadClassOption:
                      "--set", "network.topology.dims=2,2"]) == 0
         out = capsys.readouterr().out
         assert "parallel efficiency" in out
+
+
+class TestSweepCommand:
+    def test_serial_sweep(self, capsys):
+        assert main(["sweep", "t805-grid-2x2", "--rounds", "2",
+                     "--axis", "network.link_bandwidth=2,4"]) == 0
+        out = capsys.readouterr().out
+        assert "network.link_bandwidth" in out
+        assert "total_cycles" in out
+
+    def test_parallel_cached_rerun_hits(self, capsys, tmp_path):
+        argv = ["sweep", "t805-grid-2x2", "--rounds", "2",
+                "--axis", "network.link_bandwidth=2,4",
+                "--workers", "2", "--cache-dir", str(tmp_path)]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert "2 misses" in first and "2 stored" in first
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert "2 hits, 0 misses" in second
+        # Identical metric rows from cache (strip the stats line).
+        assert first.splitlines()[:-1] == second.splitlines()[:-1]
+
+    def test_cross_product_axes(self, capsys):
+        assert main(["sweep", "t805-grid-2x2", "--rounds", "2",
+                     "--axis", "network.link_bandwidth=2,4",
+                     "--axis", "network.send_overhead=50,100"]) == 0
+        out = capsys.readouterr().out
+        assert "4 variants" in out
+
+    def test_bad_axis_path(self):
+        with pytest.raises(SystemExit, match="unknown config path"):
+            main(["sweep", "t805-grid-2x2",
+                  "--axis", "network.warp_factor=1,2"])
+
+    def test_axis_requires_values(self):
+        with pytest.raises(SystemExit):
+            main(["sweep", "t805-grid-2x2", "--axis", "no-equals"])

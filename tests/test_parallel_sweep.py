@@ -1,0 +1,272 @@
+"""Parallel sweep execution (repro.parallel).
+
+Parallel execution is only trustworthy if it is provably identical to
+serial execution, so the core of this suite is the parallel-vs-serial
+equivalence contract: same rows, same order, byte-for-byte.  Around it:
+worker-count edge cases, per-variant error capture, and the
+content-addressed result cache (a cached re-run must perform zero
+simulations and return identical rows).
+
+Runner callables cross the process boundary, so everything passed to
+``workers > 1`` sweeps lives at module level (picklable).
+"""
+
+from __future__ import annotations
+
+import functools
+import json
+
+import pytest
+
+from repro import (
+    ParallelSweepRunner,
+    ResultCache,
+    Sweep,
+    Workbench,
+    generic_multicomputer,
+)
+from repro.apps import pingpong_task_traces
+from repro.parallel import (
+    SweepVariantError,
+    code_version,
+    default_workload_id,
+    execute_variant,
+    result_key,
+)
+from repro.tracegen import StochasticAppDescription
+
+
+# ---------------------------------------------------------------------------
+# Module-level runners (picklable for the process pool)
+# ---------------------------------------------------------------------------
+
+def set_bw(machine, value):
+    machine.network.link_bandwidth = value
+
+
+def echo_runner(machine):
+    return {"bw_out": machine.network.link_bandwidth}
+
+
+def pingpong_runner(machine):
+    n = machine.n_nodes
+    res = Workbench(machine).run_comm_only(
+        pingpong_task_traces(n, size=256, repeats=2, b=n - 1))
+    return {"cycles": res.total_cycles,
+            "latency": res.message_latency.mean}
+
+
+def stochastic_runner(machine):
+    res = Workbench(machine).run_stochastic(
+        StochasticAppDescription(), level="task", rounds=3, seed=7)
+    return {"cycles": res.total_cycles,
+            "latency": res.message_latency.mean}
+
+
+def failing_runner(machine):
+    if machine.network.link_bandwidth == 2.0:
+        raise ValueError("bandwidth 2.0 is cursed")
+    return {"ok": 1.0}
+
+
+def nondict_runner(machine):
+    return 42
+
+
+def counting_runner(machine, log_path):
+    """Append one line per simulation so tests can count invocations."""
+    with open(log_path, "a") as fp:
+        fp.write(f"{machine.network.link_bandwidth}\n")
+    return {"bw_out": machine.network.link_bandwidth}
+
+
+def bw_sweep(values=(1.0, 2.0, 4.0, 8.0)) -> Sweep:
+    sweep = Sweep(generic_multicomputer("mesh", (2, 2)))
+    sweep.axis("bw", set_bw, list(values))
+    return sweep
+
+
+# ---------------------------------------------------------------------------
+# Parallel-vs-serial equivalence
+# ---------------------------------------------------------------------------
+
+class TestEquivalence:
+    @pytest.mark.parametrize("runner", [pingpong_runner, stochastic_runner],
+                             ids=["pingpong", "stochastic"])
+    def test_parallel_rows_identical_to_serial(self, runner):
+        serial = bw_sweep().run(runner)
+        parallel = bw_sweep().run(runner, workers=4)
+        assert serial == parallel
+        # Byte-identical, not merely approximately equal.
+        assert json.dumps(serial, sort_keys=True) == \
+            json.dumps(parallel, sort_keys=True)
+
+    def test_row_order_matches_point_order(self):
+        values = [8.0, 1.0, 4.0, 2.0]          # deliberately unsorted
+        rows = bw_sweep(values).run(echo_runner, workers=4)
+        assert [r["bw"] for r in rows] == values
+        assert [r["bw_out"] for r in rows] == values
+
+    def test_two_axis_cross_product_parallel(self):
+        sweep = bw_sweep([1.0, 4.0])
+        sweep.axis("pkt", lambda m, v: setattr(m.network, "packet_bytes", v),
+                   [128, 256])
+        serial = sweep.run(pingpong_runner)
+        parallel = sweep.run(pingpong_runner, workers=3)
+        assert serial == parallel
+        assert len(parallel) == 4
+
+
+class TestWorkerCounts:
+    def test_workers_one_is_serial(self):
+        assert bw_sweep().run(echo_runner, workers=1) == \
+            bw_sweep().run(echo_runner)
+
+    def test_more_workers_than_variants(self):
+        rows = bw_sweep([1.0, 2.0]).run(echo_runner, workers=16)
+        assert [r["bw_out"] for r in rows] == [1.0, 2.0]
+
+    def test_invalid_worker_count(self):
+        with pytest.raises(ValueError, match="workers"):
+            ParallelSweepRunner(workers=0)
+
+    def test_runner_directly_on_points(self):
+        points = bw_sweep([1.0, 2.0]).points()
+        rows = ParallelSweepRunner(workers=2).run(echo_runner, points)
+        assert [r["bw_out"] for r in rows] == [1.0, 2.0]
+
+
+# ---------------------------------------------------------------------------
+# Error capture: one sick variant must not kill the sweep
+# ---------------------------------------------------------------------------
+
+class TestErrorCapture:
+    @pytest.mark.parametrize("workers", [None, 3], ids=["serial", "parallel"])
+    def test_failure_becomes_error_row(self, workers):
+        rows = bw_sweep().run(failing_runner, workers=workers)
+        assert len(rows) == 4
+        bad = [r for r in rows if "error" in r]
+        assert len(bad) == 1
+        assert bad[0]["bw"] == 2.0
+        assert bad[0]["error"] == "ValueError: bandwidth 2.0 is cursed"
+        assert all(r["ok"] == 1.0 for r in rows if "error" not in r)
+
+    @pytest.mark.parametrize("workers", [None, 3], ids=["serial", "parallel"])
+    def test_on_error_raise(self, workers):
+        with pytest.raises(SweepVariantError, match="bandwidth 2.0"):
+            bw_sweep().run(failing_runner, workers=workers,
+                           on_error="raise")
+
+    def test_non_dict_return_captured(self):
+        rows = bw_sweep([1.0]).run(nondict_runner)
+        assert "error" in rows[0] and "expected dict" in rows[0]["error"]
+
+    def test_bad_on_error_value(self):
+        with pytest.raises(ValueError, match="on_error"):
+            bw_sweep([1.0]).run(echo_runner, on_error="explode")
+
+    def test_execute_variant_contract(self):
+        machine = generic_multicomputer("mesh", (2, 2))
+        assert execute_variant(echo_runner, machine) == \
+            ("ok", {"bw_out": machine.network.link_bandwidth})
+        status, message = execute_variant(
+            lambda m: 1 / 0, machine)
+        assert status == "error"
+        assert message.startswith("ZeroDivisionError")
+
+
+# ---------------------------------------------------------------------------
+# Result cache
+# ---------------------------------------------------------------------------
+
+class TestResultCache:
+    def test_rerun_performs_zero_simulations(self, tmp_path):
+        log = tmp_path / "runs.log"
+        cache = ResultCache(tmp_path / "cache")
+        runner = functools.partial(counting_runner, log_path=str(log))
+
+        first = bw_sweep().run(runner, workers=2, cache=cache,
+                               workload_id="count")
+        assert len(log.read_text().splitlines()) == 4
+        assert cache.stats.stores == 4 and cache.stats.hits == 0
+
+        second = bw_sweep().run(runner, workers=2, cache=cache,
+                                workload_id="count")
+        assert second == first
+        assert len(log.read_text().splitlines()) == 4   # no new simulations
+        assert cache.stats.hits == 4
+
+    def test_cache_dir_path_accepted(self, tmp_path):
+        first = bw_sweep().run(echo_runner, cache=str(tmp_path))
+        second = bw_sweep().run(echo_runner, cache=str(tmp_path))
+        assert first == second
+        assert len(ResultCache(tmp_path)) == 4
+
+    def test_partial_hit_simulates_only_new_variants(self, tmp_path):
+        log = tmp_path / "runs.log"
+        cache = ResultCache(tmp_path / "cache")
+        runner = functools.partial(counting_runner, log_path=str(log))
+        bw_sweep([1.0, 2.0]).run(runner, cache=cache, workload_id="count")
+        bw_sweep([1.0, 2.0, 4.0]).run(runner, cache=cache,
+                                      workload_id="count")
+        # 2 first + only the one genuinely new variant on the re-run.
+        assert len(log.read_text().splitlines()) == 3
+
+    def test_error_rows_are_not_cached(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        rows = bw_sweep().run(failing_runner, cache=cache)
+        assert sum("error" in r for r in rows) == 1
+        assert len(cache) == 3                          # only the ok rows
+        assert cache.stats.stores == 3
+
+    def test_workload_id_separates_entries(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        bw_sweep([1.0]).run(echo_runner, cache=cache, workload_id="a")
+        bw_sweep([1.0]).run(echo_runner, cache=cache, workload_id="b")
+        assert cache.stats.hits == 0 and cache.stats.stores == 2
+
+    def test_get_put_roundtrip(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        machine = generic_multicomputer("mesh", (2, 2))
+        key = cache.key_for(machine, "w")
+        assert cache.get(key) is None
+        cache.put(key, {"cycles": 123.5})
+        assert cache.get(key) == {"cycles": 123.5}
+
+
+class TestCacheKeys:
+    def test_key_is_stable_across_equal_configs(self):
+        a = generic_multicomputer("mesh", (2, 2))
+        b = generic_multicomputer("mesh", (2, 2))
+        assert result_key(a, "w") == result_key(b, "w")
+
+    def test_key_depends_on_machine(self):
+        a = generic_multicomputer("mesh", (2, 2))
+        b = generic_multicomputer("mesh", (2, 2))
+        b.network.link_bandwidth *= 2
+        assert result_key(a, "w") != result_key(b, "w")
+
+    def test_key_depends_on_workload_and_code_version(self):
+        m = generic_multicomputer("mesh", (2, 2))
+        assert result_key(m, "a") != result_key(m, "b")
+        assert result_key(m, "a", version="v1") != \
+            result_key(m, "a", version="v2")
+
+    def test_code_version_is_stable(self):
+        assert code_version() == code_version()
+        assert len(code_version()) == 16
+
+    def test_default_workload_id_unwraps_partial(self):
+        wid = default_workload_id(
+            functools.partial(counting_runner, log_path="x"))
+        assert wid.endswith("counting_runner")
+        assert default_workload_id(echo_runner).endswith("echo_runner")
+
+
+class TestPoolFallback:
+    def test_unpicklable_runner_falls_back_inline(self):
+        """A lambda can't cross the process boundary; the sweep must
+        still complete (in-process) rather than die on a pickle error."""
+        rows = bw_sweep([1.0, 2.0]).run(
+            lambda m: {"bw_out": m.network.link_bandwidth}, workers=2)
+        assert [r["bw_out"] for r in rows] == [1.0, 2.0]

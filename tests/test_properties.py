@@ -199,3 +199,56 @@ def test_compute_cycles_conserved(task_lists):
         assert res.activity[i].compute_cycles == pytest.approx(sum(tasks))
     assert res.total_cycles == pytest.approx(
         max((sum(t) for t in task_lists), default=0.0))
+
+
+# ---------------------------------------------------------------------------
+# Sweep variant-generation laws (vary_machine)
+# ---------------------------------------------------------------------------
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.floats(0.5, 64.0), min_size=1, max_size=10))
+def test_vary_machine_base_never_mutated(bandwidths):
+    """The base config is untouched no matter how many variants spawn."""
+    from repro import generic_multicomputer, vary_machine
+    base = generic_multicomputer("mesh", (2, 2))
+    snapshot = base.to_dict()
+    vary_machine(base,
+                 lambda m, v: setattr(m.network, "link_bandwidth", v),
+                 bandwidths)
+    assert base.to_dict() == snapshot
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.floats(0.5, 64.0), min_size=1, max_size=10))
+def test_vary_machine_one_valid_variant_per_value(bandwidths):
+    """Variant count equals value count; every variant validates and
+    carries its own value, independent of its siblings."""
+    from repro import generic_multicomputer, vary_machine
+    base = generic_multicomputer("mesh", (2, 2))
+    variants = vary_machine(
+        base, lambda m, v: setattr(m.network, "link_bandwidth", v),
+        bandwidths)
+    assert len(variants) == len(bandwidths)
+    for machine, value in zip(variants, bandwidths):
+        machine.validate()
+        assert machine.network.link_bandwidth == value
+    assert len({id(m) for m in variants}) == len(variants)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(st.sampled_from([4, 8, 16, 32, 64, 128]),
+                min_size=1, max_size=8))
+def test_vary_machine_structural_mutations_validate(kib_sizes):
+    """Cache-geometry mutations re-validate per variant and never leak
+    into the base or each other."""
+    from repro import generic_multicomputer, vary_machine
+
+    def set_l1(machine, kib):
+        machine.node.cache_levels[0].data.size_bytes = kib * 1024
+
+    base = generic_multicomputer("mesh", (2, 2))
+    original = base.node.cache_levels[0].data.size_bytes
+    variants = vary_machine(base, set_l1, kib_sizes)
+    assert base.node.cache_levels[0].data.size_bytes == original
+    assert [m.node.cache_levels[0].data.size_bytes
+            for m in variants] == [k * 1024 for k in kib_sizes]

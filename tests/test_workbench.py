@@ -144,3 +144,17 @@ class TestVSMEntry:
         res = wb.run_vsm(program)
         assert res.faults > 0
         assert res.total_cycles > 0
+
+
+class TestSweepEntry:
+    def test_sweep_rooted_at_bound_machine(self, wb):
+        sweep = wb.sweep("bw study")
+        assert sweep.label == "bw study"
+        sweep.axis("bw", lambda m, v: setattr(m.network,
+                                              "link_bandwidth", v),
+                   [1.0, 2.0])
+        original_bw = wb.machine.network.link_bandwidth
+        rows = sweep.run(lambda m: {"bw_out": m.network.link_bandwidth})
+        assert [r["bw_out"] for r in rows] == [1.0, 2.0]
+        # The bound machine is never mutated by sweeping.
+        assert wb.machine.network.link_bandwidth == original_bw
