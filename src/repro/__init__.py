@@ -33,6 +33,7 @@ Package map (see DESIGN.md for the full inventory):
 * :mod:`repro.analysis`   — slowdown, timelines, statistics, reports
 * :mod:`repro.core`       — configuration, Workbench facade, experiments
 * :mod:`repro.parallel`   — parallel sweep execution + result caching
+* :mod:`repro.check`      — static analyzer (``repro check``) + sanitizer
 """
 
 from .core.config import (
@@ -45,6 +46,16 @@ from .core.config import (
     NetworkConfig,
     NodeConfig,
     TopologyConfig,
+)
+from .check import (
+    CheckError,
+    DeterminismSanitizer,
+    Diagnostic,
+    Report,
+    Severity,
+    check_description,
+    check_machine,
+    check_traces,
 )
 from .core.experiment import Sweep, vary_machine
 from .core.workbench import Workbench
@@ -60,8 +71,10 @@ __version__ = "1.0.0"
 
 __all__ = [
     "BusConfig", "CPUConfig", "CacheConfig", "CacheLevelConfig",
-    "MachineConfig", "MemoryConfig", "NetworkConfig", "NodeConfig",
-    "ParallelSweepRunner", "ResultCache", "Sweep", "TopologyConfig",
-    "Workbench", "__version__", "generic_multicomputer", "powerpc601_node",
-    "smp_node", "t805_grid", "vary_machine",
+    "CheckError", "DeterminismSanitizer", "Diagnostic", "MachineConfig",
+    "MemoryConfig", "NetworkConfig", "NodeConfig", "ParallelSweepRunner",
+    "Report", "ResultCache", "Severity", "Sweep", "TopologyConfig",
+    "Workbench", "__version__", "check_description", "check_machine",
+    "check_traces", "generic_multicomputer", "powerpc601_node", "smp_node",
+    "t805_grid", "vary_machine",
 ]

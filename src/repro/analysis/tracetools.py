@@ -18,7 +18,6 @@ from ..operations.ops import (
     OpCode,
 )
 from ..operations.trace import Trace, TraceSet
-from .report import format_table
 
 __all__ = ["dump_trace", "trace_profile", "trace_set_profile",
            "compare_trace_sets"]

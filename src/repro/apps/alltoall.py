@@ -12,7 +12,6 @@ from typing import Callable
 
 from ..operations.ops import compute, recv, send
 from ..operations.trace import Trace, TraceSet
-from ..operations.optypes import ArithType
 from .api import NodeContext
 
 __all__ = ["make_alltoall", "alltoall_task_traces"]

@@ -1,0 +1,169 @@
+"""Diagnostic vocabulary of the ``repro check`` static analyzer.
+
+Every analyzer pass reports :class:`Diagnostic` records — structured,
+machine-readable findings with a stable rule id — collected into a
+:class:`Report` per checked artifact.  One vocabulary serves all four
+analyzer families (traces, machine configs, application descriptions,
+kernel determinism) plus the runtime deadlock reporter, so tools and
+tests can filter on rule ids instead of parsing exception strings.
+
+Rule-id families
+----------------
+``TR``   trace passes (structure, matching, static deadlock)
+``MC``   machine-config passes (contract, topology, routing, parameters)
+``AD``   application-description passes (mix, branch model, node count)
+``KD``   kernel determinism sanitizer (tie-break sensitivity)
+``RT``   runtime reports (simulation deadlock details)
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from enum import IntEnum
+from typing import Any, Iterable, Iterator, Optional
+
+__all__ = ["Severity", "Diagnostic", "Report", "RULES"]
+
+
+class Severity(IntEnum):
+    """How bad a finding is.  Only ``ERROR`` makes a report fail."""
+
+    NOTE = 0
+    WARNING = 1
+    ERROR = 2
+
+    def __str__(self) -> str:
+        return self.name.lower()
+
+
+#: Stable one-line description of every rule the analyzer can emit.
+#: (README documents this table; ``repro check --rules`` prints it.)
+RULES: dict[str, str] = {
+    "TR001": "malformed operation (negative size, duration or address)",
+    "TR002": "self-communication (a node sends to / receives from itself)",
+    "TR003": "ghost peer (peer id outside [0, n_nodes))",
+    "TR004": "unmatched communication counts between a node pair",
+    "TR005": "static deadlock: cyclic wait between blocking receives",
+    "TR006": "starved receive: blocks forever, no matching send in flight",
+    "MC001": "machine config violates the parameter contract",
+    "MC002": "topology leaves endpoint pairs unreachable",
+    "MC003": "routing function produces an invalid path",
+    "MC004": "suspicious parameter combination (consistency warning)",
+    "AD001": "application description violates its contract",
+    "AD002": "instruction-mix weight negative or not finite",
+    "AD003": "branch probabilities exceed 1 (loopback + far-jump)",
+    "AD004": "unreachable basic blocks (loop never advances)",
+    "AD005": "communication pattern vs node count mismatch",
+    "KD001": "same-time contention on a resource (tie-break sensitive)",
+    "KD002": "same-time conflicting channel operations (tie-break sensitive)",
+    "RT001": "simulation deadlock: blocked process details",
+}
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One structured finding.
+
+    ``subject`` names the checked artifact (``"trace-set"``,
+    ``"machine:t805-grid-4x4"``, ...); ``location`` pins the finding
+    inside it (``"node 2 op 14"``, ``"network.flit_bytes"``, ...).
+    """
+
+    rule: str
+    severity: Severity
+    message: str
+    subject: str = ""
+    location: str = ""
+    hint: str = ""
+
+    def format(self) -> str:
+        where = f" [{self.subject}]" if self.subject else ""
+        at = f" ({self.location})" if self.location else ""
+        tail = f"\n    hint: {self.hint}" if self.hint else ""
+        return f"{self.severity}: {self.rule}{where} {self.message}{at}{tail}"
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "rule": self.rule,
+            "severity": str(self.severity),
+            "message": self.message,
+            "subject": self.subject,
+            "location": self.location,
+            "hint": self.hint,
+        }
+
+
+@dataclass
+class Report:
+    """All diagnostics one checked artifact produced.
+
+    A report is *clean* (:attr:`ok`) when it holds no ``ERROR``-severity
+    diagnostics; warnings and notes never fail a check.
+    """
+
+    subject: str = ""
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+
+    def add(self, diag: Diagnostic) -> None:
+        self.diagnostics.append(diag)
+
+    def extend(self, diags: Iterable[Diagnostic]) -> None:
+        self.diagnostics.extend(diags)
+
+    def merge(self, other: "Report") -> "Report":
+        self.diagnostics.extend(other.diagnostics)
+        return self
+
+    def __iter__(self) -> Iterator[Diagnostic]:
+        return iter(self.diagnostics)
+
+    def __len__(self) -> int:
+        return len(self.diagnostics)
+
+    @property
+    def errors(self) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is Severity.ERROR]
+
+    @property
+    def warnings(self) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is Severity.WARNING]
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+    def by_rule(self, prefix: str) -> list[Diagnostic]:
+        """Diagnostics whose rule id starts with ``prefix`` (e.g. ``"TR"``)."""
+        return [d for d in self.diagnostics if d.rule.startswith(prefix)]
+
+    def format(self, verbose: bool = True) -> str:
+        """Human-readable rendering; one line per diagnostic."""
+        head = self.subject or "report"
+        if not self.diagnostics:
+            return f"ok   {head}"
+        status = "FAIL" if not self.ok else "warn"
+        lines = [f"{status} {head}: {len(self.errors)} error(s), "
+                 f"{len(self.warnings)} warning(s)"]
+        if verbose:
+            for d in sorted(self.diagnostics,
+                            key=lambda d: (-int(d.severity), d.rule)):
+                lines.append("  " + d.format())
+        return "\n".join(lines)
+
+    def summary_message(self) -> str:
+        """Compact one-line error summary (sweep error rows, exceptions)."""
+        parts = [f"{d.rule} {d.message}" for d in self.errors]
+        return "; ".join(parts) if parts else "ok"
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "subject": self.subject,
+            "ok": self.ok,
+            "n_errors": len(self.errors),
+            "n_warnings": len(self.warnings),
+            "diagnostics": [d.to_dict() for d in self.diagnostics],
+        }
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)

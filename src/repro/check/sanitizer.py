@@ -1,0 +1,123 @@
+"""Kernel determinism sanitizer (``KD`` rules).
+
+The Pearl kernel breaks same-time ties with a global monotone sequence
+number, so a given program always replays identically.  But a schedule
+whose *outcome* depends on that tie-break is fragile: reordering two
+model statements, or running the same model on a kernel with a
+different tie-break rule, changes the result.  The
+:class:`DeterminismSanitizer` is an opt-in hook
+(:meth:`repro.pearl.kernel.Simulator.attach_sanitizer`) that records
+same-timestamp conflicting operations:
+
+* ``KD001`` — two or more ``acquire`` requests on one resource at the
+  same instant where at least one had to queue: the grant order is
+  decided purely by tie-breaking.
+* ``KD002`` — two or more sends (or two or more receives) on one
+  channel at the same instant: their FIFO order is decided purely by
+  tie-breaking.
+
+Findings are warnings, never errors — tie-break-sensitive schedules are
+legal, just worth knowing about when chasing reproducibility.
+"""
+
+from __future__ import annotations
+
+from .diagnostics import Diagnostic, Report, Severity
+
+__all__ = ["DeterminismSanitizer"]
+
+
+class DeterminismSanitizer:
+    """Records same-timestamp conflicting resource/channel operations.
+
+    The kernel calls :meth:`record_resource` / :meth:`record_channel`
+    on every operation (cheap: one dict update).  Conflicts are
+    evaluated lazily whenever simulated time advances, so memory stays
+    bounded by the widest single instant.  Call :meth:`finish` (or
+    :meth:`report`) after the run to flush the final instant.
+    """
+
+    def __init__(self, max_findings: int = 100) -> None:
+        self.max_findings = max_findings
+        self.diagnostics: list[Diagnostic] = []
+        self.suppressed = 0
+        self._time: float | None = None
+        #: resource name -> [requests this instant, queued this instant]
+        self._resources: dict[str, list[int]] = {}
+        #: (channel name, "send" | "recv") -> ops this instant
+        self._channels: dict[tuple[str, str], int] = {}
+
+    # -- kernel-facing hooks (hot path) ---------------------------------
+
+    def record_resource(self, name: str, now: float, granted: bool) -> None:
+        """One ``acquire`` on resource ``name``; ``granted`` if immediate."""
+        if now != self._time:
+            self._flush()
+            self._time = now
+        entry = self._resources.get(name)
+        if entry is None:
+            entry = self._resources[name] = [0, 0]
+        entry[0] += 1
+        if not granted:
+            entry[1] += 1
+
+    def record_channel(self, name: str, now: float, kind: str) -> None:
+        """One ``send`` or ``recv`` on channel ``name``."""
+        if now != self._time:
+            self._flush()
+            self._time = now
+        key = (name, kind)
+        self._channels[key] = self._channels.get(key, 0) + 1
+
+    # -- conflict evaluation --------------------------------------------
+
+    def _emit(self, diag: Diagnostic) -> None:
+        if len(self.diagnostics) < self.max_findings:
+            self.diagnostics.append(diag)
+        else:
+            self.suppressed += 1
+
+    def _flush(self) -> None:
+        t = self._time
+        if t is None:
+            return
+        for name, (requests, queued) in self._resources.items():
+            if requests >= 2 and queued >= 1:
+                self._emit(Diagnostic(
+                    rule="KD001", severity=Severity.WARNING,
+                    message=f"{requests} acquire(s) on resource {name!r} "
+                            f"at t={t:g} with {queued} queued: grant order "
+                            f"depends on event tie-breaking",
+                    subject="determinism", location=f"t={t:g}",
+                    hint="stagger the requests or make the arbitration "
+                         "policy explicit in the model"))
+        for (name, kind), count in self._channels.items():
+            if count >= 2:
+                self._emit(Diagnostic(
+                    rule="KD002", severity=Severity.WARNING,
+                    message=f"{count} {kind}(s) on channel {name!r} at "
+                            f"t={t:g}: their FIFO order depends on event "
+                            f"tie-breaking",
+                    subject="determinism", location=f"t={t:g}"))
+        self._resources.clear()
+        self._channels.clear()
+
+    # -- results ---------------------------------------------------------
+
+    def finish(self) -> list[Diagnostic]:
+        """Flush the final instant and return all findings."""
+        self._flush()
+        self._time = None
+        return list(self.diagnostics)
+
+    def report(self, subject: str = "determinism") -> Report:
+        """All findings as a :class:`Report` (never failing: warnings only)."""
+        report = Report(subject=subject)
+        report.extend(self.finish())
+        if self.suppressed:
+            report.add(Diagnostic(
+                rule="KD001", severity=Severity.NOTE,
+                message=f"{self.suppressed} further finding(s) suppressed "
+                        f"(max_findings={self.max_findings})",
+                subject=subject))
+        return report

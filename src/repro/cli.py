@@ -236,6 +236,103 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _check_targets(args: argparse.Namespace) -> list:
+    """Build (kind, name, artifact) check targets from the CLI selection.
+
+    With no explicit ``--preset``/``--trace``/``--workload`` the whole
+    bundle is checked: every machine preset, every workload-class
+    description (plus the generic one), the bundled apps' task traces,
+    and a generated task-level trace set per workload class.
+    """
+    from .tracegen import WORKLOAD_CLASSES, StochasticGenerator
+
+    explicit = bool(args.preset or args.trace or args.workload)
+    targets: list = []
+
+    for name in (args.preset or (() if explicit else sorted(PRESETS))):
+        machine = PRESETS[name]()
+        for spec in (args.set or ()):
+            _apply_override(machine, spec)
+        targets.append(("machine", name, machine))
+
+    for path in (args.trace or ()):
+        targets.append(("traces", path, TraceSet.load(path)))
+
+    workloads = args.workload or (() if explicit
+                                  else [None, *sorted(WORKLOAD_CLASSES)])
+    for wl in workloads:
+        desc = WORKLOAD_CLASSES[wl]() if wl else StochasticAppDescription()
+        label = wl or "generic"
+        targets.append(("description", label, desc))
+        gen = StochasticGenerator(desc, args.nodes, seed=0)
+        targets.append(("traces", f"stochastic:{label}",
+                        gen.generate_task_level(5)))
+
+    if not explicit:
+        from .apps import (alltoall_task_traces, pingpong_task_traces,
+                           pipeline_task_traces)
+        targets.append(("traces", "app:pingpong", pingpong_task_traces(2)))
+        targets.append(("traces", "app:alltoall",
+                        alltoall_task_traces(args.nodes)))
+        targets.append(("traces", "app:pipeline",
+                        pipeline_task_traces(args.nodes)))
+    return targets
+
+
+def _check_determinism(machine, preset: str):
+    """Short sanitized task-level run; returns the sanitizer's report."""
+    from .check import DeterminismSanitizer
+    from .commmodel.network import MultiNodeModel
+    from .tracegen import StochasticGenerator
+
+    model = MultiNodeModel(machine)
+    sanitizer = DeterminismSanitizer()
+    model.sim.attach_sanitizer(sanitizer)
+    gen = StochasticGenerator(StochasticAppDescription(), model.n_nodes,
+                              seed=0)
+    model.run(list(gen.generate_task_level(3)))
+    return sanitizer.report(subject=f"determinism:{preset}")
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    from .check import (RULES, check_description, check_machine,
+                        check_traces)
+
+    if args.rules:
+        rows = [{"rule": rule, "description": text}
+                for rule, text in sorted(RULES.items())]
+        print(format_table(rows, title="check rules:"))
+        return 0
+
+    reports = []
+    for kind, name, artifact in _check_targets(args):
+        if kind == "machine":
+            report = check_machine(artifact, subject=f"machine:{name}")
+            if args.determinism and report.ok:
+                report.merge(_check_determinism(artifact, name))
+        elif kind == "traces":
+            report = check_traces(artifact, subject=f"traces:{name}")
+        else:
+            report = check_description(artifact, n_nodes=args.nodes,
+                                       subject=f"description:{name}")
+        reports.append(report)
+
+    n_errors = sum(len(r.errors) for r in reports)
+    if args.json:
+        import json
+        print(json.dumps({"ok": n_errors == 0,
+                          "n_errors": n_errors,
+                          "reports": [r.to_dict() for r in reports]},
+                         indent=2, sort_keys=True))
+    else:
+        for report in reports:
+            print(report.format())
+        n_warn = sum(len(r.warnings) for r in reports)
+        print(f"checked {len(reports)} artifact(s): "
+              f"{n_errors} error(s), {n_warn} warning(s)")
+    return 1 if n_errors else 0
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     traces = TraceSet.load(args.path)
     rows = trace_set_profile(traces)
@@ -303,6 +400,34 @@ def _parser() -> argparse.ArgumentParser:
                    help="workload-class preset (default: generic "
                         "stochastic description)")
 
+    p = sub.add_parser(
+        "check", help="static analysis of machine configs, traces and "
+                      "stochastic descriptions")
+    p.add_argument("--preset", action="append", choices=sorted(PRESETS),
+                   help="machine preset to check (repeatable; default: "
+                        "every bundled preset, app and description)")
+    p.add_argument("--set", action="append", metavar="PATH=VALUE",
+                   help="config override applied to each --preset "
+                        "before checking")
+    p.add_argument("--trace", action="append", metavar="PATH",
+                   help="saved .npz trace set to check (repeatable)")
+    from .tracegen import WORKLOAD_CLASSES as _wl2
+    p.add_argument("--workload", action="append", choices=sorted(_wl2),
+                   help="workload-class description to check (repeatable)")
+    p.add_argument("--nodes", type=int, default=4, metavar="N",
+                   help="node count for description/trace-generation "
+                        "checks (default 4)")
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable diagnostics on stdout")
+    p.add_argument("--rules", action="store_true",
+                   help="print the rule-id table and exit")
+    p.add_argument("--determinism", action="store_true",
+                   help="also run a short sanitized simulation per "
+                        "machine, flagging tie-break-sensitive schedules")
+    p.add_argument("--fix-none", action="store_true", dest="fix_none",
+                   help="never rewrite artifacts (reserved; checking is "
+                        "already read-only)")
+
     p = sub.add_parser("trace", help="profile a saved .npz trace set")
     p.add_argument("path")
     p.add_argument("--dump", type=int, default=None, metavar="N",
@@ -317,6 +442,7 @@ _COMMANDS = {
     "slowdown": _cmd_slowdown,
     "stochastic": _cmd_stochastic,
     "sweep": _cmd_sweep,
+    "check": _cmd_check,
     "trace": _cmd_trace,
 }
 

@@ -239,8 +239,50 @@ class MultiNodeModel:
         try:
             self.sim.run(until=until, check_deadlock=True)
         except DeadlockError as err:
-            raise DeadlockError(err.blocked) from None
+            raise DeadlockError(
+                err.blocked,
+                diagnostics=self._deadlock_diagnostics(err.blocked),
+            ) from None
         return self.result()
+
+    def _deadlock_diagnostics(self, blocked: Sequence[str]) -> list:
+        """RT001 diagnostics naming what each blocked process waits on.
+
+        Inspects NIC state: posted-but-unmatched receives (with their
+        source filters), synchronous sends still awaiting delivery, and
+        messages that arrived but were never consumed — the difference
+        between "recv with no send" and "send stuck in the network".
+        """
+        from ..check.diagnostics import Diagnostic, Severity
+        nic_by_name = {f"node{nic.node_id}": nic for nic in self.nics}
+        out = []
+        for name in blocked:
+            nic = nic_by_name.get(name)
+            if nic is None:
+                detail = "internal process (router/link) blocked"
+            else:
+                waits = [sorted(sources) for _, sources in nic._waiting]
+                pending_sends = len(nic._sync_events)
+                if waits:
+                    detail = "; ".join(
+                        f"receive posted for source(s) {w}, no message"
+                        for w in waits)
+                elif pending_sends:
+                    detail = (f"{pending_sends} synchronous send(s) still "
+                              f"awaiting delivery")
+                else:
+                    detail = "blocked outside the NIC"
+                buffered = nic.buffered_messages
+                if buffered:
+                    detail += (f" ({buffered} buffered message(s) never "
+                               f"consumed)")
+            out.append(Diagnostic(
+                rule="RT001", severity=Severity.ERROR,
+                message=f"process {name!r}: {detail}",
+                subject=f"run:{self.machine.name}", location=name,
+                hint="run `repro check` on the trace set for a static "
+                     "wait-for-graph analysis"))
+        return out
 
     def result(self) -> CommResult:
         return CommResult(

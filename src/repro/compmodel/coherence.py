@@ -24,9 +24,7 @@ contention between CPUs is simulated, not estimated.
 
 from __future__ import annotations
 
-from typing import Optional
-
-from ..core.config import CacheLevelConfig, ConfigError
+from ..core.config import ConfigError
 from .bus import Bus
 from .cache import Cache, LineState
 from .memory import DRAM

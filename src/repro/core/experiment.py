@@ -59,8 +59,15 @@ class Sweep:
         self._axes.append((name, mutator, list(values)))
         return self
 
-    def points(self) -> list[tuple[dict, MachineConfig]]:
-        """All (coordinates, machine-variant) pairs of the cross product."""
+    def points(self, validate: bool = True) -> list[tuple[dict,
+                                                          MachineConfig]]:
+        """All (coordinates, machine-variant) pairs of the cross product.
+
+        ``validate=True`` (the default) raises on the first invalid
+        variant; :meth:`run` passes ``False`` and instead pre-flights
+        every variant through the static analyzer so one sick config
+        becomes an error row, not an aborted sweep.
+        """
         points: list[tuple[dict, MachineConfig]] = [({},
                                                      copy.deepcopy(self.base))]
         for name, mutator, values in self._axes:
@@ -71,13 +78,14 @@ class Sweep:
                     mutator(variant, value)
                     nxt.append(({**coords, name: value}, variant))
             points = nxt
-        for _, machine in points:
-            machine.validate()
+        if validate:
+            for _, machine in points:
+                machine.validate()
         return points
 
     def run(self, runner: Runner, *, workers: int | None = None,
             cache: Any = None, workload_id: str | None = None,
-            on_error: str = "capture") -> list[dict]:
+            on_error: str = "capture", preflight: bool = True) -> list[dict]:
         """Run ``runner(machine) -> metrics`` at every point.
 
         Returns one row per point: sweep coordinates merged with the
@@ -101,10 +109,41 @@ class Sweep:
             config cannot lose the rest of an overnight sweep;
             ``"raise"`` aborts with
             :class:`repro.parallel.SweepVariantError`.
+        ``preflight``
+            statically analyze every variant with
+            :func:`repro.check.check_machine` before it reaches the
+            pool; failing variants become ``CheckError: ...`` rows (or
+            raise, per ``on_error``) in milliseconds instead of
+            crashing mid-simulation.  ``preflight=False`` restores the
+            pre-analyzer behaviour: :meth:`points` validates eagerly
+            and the first invalid variant raises ``ConfigError``.
         """
-        from ..parallel import ParallelSweepRunner, ResultCache
+        from ..parallel import (ParallelSweepRunner, ResultCache,
+                                SweepVariantError)
+        if on_error not in ("capture", "raise"):
+            raise ValueError(f"on_error must be 'capture' or 'raise', "
+                             f"got {on_error!r}")
         if cache is not None and not isinstance(cache, ResultCache):
             cache = ResultCache(cache)
+        points = self.points(validate=not preflight)
+        rows: list[dict | None] = [None] * len(points)
+        good: list[tuple[int, tuple[dict, MachineConfig]]] = []
+        if preflight:
+            from ..check import check_machine
+            for idx, (coords, machine) in enumerate(points):
+                report = check_machine(machine)
+                if report.ok:
+                    good.append((idx, (coords, machine)))
+                    continue
+                message = f"CheckError: {report.summary_message()}"
+                if on_error == "raise":
+                    raise SweepVariantError(coords, message)
+                rows[idx] = {**coords, "error": message}
+        else:
+            good = list(enumerate(points))
         pool = ParallelSweepRunner(workers=workers or 1, cache=cache)
-        return pool.run(runner, self.points(), workload_id=workload_id,
-                        on_error=on_error)
+        ran = pool.run(runner, [pt for _, pt in good],
+                       workload_id=workload_id, on_error=on_error)
+        for (idx, _), row in zip(good, ran):
+            rows[idx] = row
+        return rows  # type: ignore[return-value]

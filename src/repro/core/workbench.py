@@ -22,7 +22,7 @@ mode                   input (application level)               accuracy/cost
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Callable, Iterable, Optional, Sequence, Union
+from typing import TYPE_CHECKING, Iterable, Optional, Sequence, Union
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from .experiment import Sweep
@@ -138,6 +138,27 @@ class Workbench:
             application = ThreadedApplication(application, self.n_nodes)
         model = VSMModel(self.machine, vsm_config)
         return model.run_application(application)
+
+    # -- static analysis ----------------------------------------------------
+
+    def check(self, *, traces: Optional[TraceSet] = None,
+              description: Optional[StochasticAppDescription] = None):
+        """Statically analyze this machine (and optionally a workload).
+
+        Runs :func:`repro.check.check_machine` on the bound config,
+        plus :func:`~repro.check.check_traces` /
+        :func:`~repro.check.check_description` when the corresponding
+        workload artifact is given.  Returns the merged
+        :class:`~repro.check.Report`.
+        """
+        from ..check import check_description, check_machine, check_traces
+        report = check_machine(self.machine)
+        if traces is not None:
+            report.merge(check_traces(traces, n_nodes=self.n_nodes))
+        if description is not None:
+            report.merge(check_description(description,
+                                           n_nodes=self.n_nodes))
+        return report
 
     # -- design-space sweeps -------------------------------------------------
 

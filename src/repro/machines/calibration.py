@@ -19,8 +19,7 @@ from ..commmodel.network import MultiNodeModel
 from ..compmodel.hierarchy import AccessKind
 from ..compmodel.node import SingleNodeModel
 from ..core.config import MachineConfig
-from ..operations.ops import compute, load, recv, send
-from ..operations.optypes import MemType
+from ..operations.ops import recv, send
 
 __all__ = ["measure_memory_latencies", "measure_link_parameters",
            "measure_arithmetic_throughput", "CalibrationReport"]

@@ -24,7 +24,6 @@ only needs what affects *time* (Section 3.3 of the paper).
 from __future__ import annotations
 
 from enum import IntEnum
-from typing import Union
 
 from .optypes import ArithType, MemType
 

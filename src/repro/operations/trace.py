@@ -14,7 +14,7 @@ trip through a compact columnar ``.npz`` file for post-mortem reuse.
 from __future__ import annotations
 
 import collections
-from typing import Callable, Iterable, Iterator, Optional, Sequence
+from typing import Iterable, Iterator, Optional, Sequence
 
 import numpy as np
 

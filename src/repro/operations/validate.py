@@ -1,16 +1,29 @@
-"""Trace validation — structural well-formedness checks.
+"""Trace validation — thin wrapper over :mod:`repro.check` (deprecated).
 
-The architecture simulators assume traces obey the Table-1 contract
-(non-negative sizes, valid peers, matched synchronous communication).
-These checks run in tests and optionally before a simulation; they catch
-generator bugs early instead of deep inside a model.
+.. deprecated::
+    This module predates the ``repro check`` static analyzer and now
+    delegates to its trace passes so there is a single diagnostic
+    vocabulary.  New code should call
+    :func:`repro.check.check_traces` and inspect the returned
+    :class:`~repro.check.Report` (structured diagnostics, rule ids,
+    severities) instead of catching :class:`ValidationError` strings.
+
+The exception-based API is kept for backward compatibility — and it
+got *stronger*: :func:`validate_trace_set` now also rejects trace sets
+whose communication counts match but whose operation *order* provably
+deadlocks the synchronous model (rule ``TR005``), upgrading the old
+count-only check.
+
+:func:`communication_matrix` (the send/recv count matrices) still lives
+here; the analyzer's matched-counts pass imports it, not the other way
+around, so the dependency stays one-directional.
 """
 
 from __future__ import annotations
 
 from typing import Iterable, Optional
 
-from .ops import OpCode, Operation
+from .ops import OpCode
 from .trace import Trace, TraceSet
 
 __all__ = ["ValidationError", "validate_trace", "validate_trace_set",
@@ -22,62 +35,40 @@ class ValidationError(ValueError):
 
 
 def validate_trace(trace: Trace, n_nodes: Optional[int] = None) -> None:
-    """Check a single node's trace.
+    """Check a single node's trace (structure only).
 
     * sizes and durations non-negative;
     * peers within ``[0, n_nodes)`` when ``n_nodes`` is given;
     * no self-communication (a node never sends to / receives from itself);
     * addresses non-negative.
+
+    Raises :class:`ValidationError` with the first finding's message
+    (identical strings to the analyzer's ``TR001``–``TR003`` rules).
     """
-    node = trace.node
-    for i, op in enumerate(trace):
-        code = op.code
-        if code in (OpCode.SEND, OpCode.ASEND):
-            if op.size < 0:
-                raise ValidationError(f"node {node} op {i}: negative size")
-            _check_peer(node, op.peer, n_nodes, i)
-        elif code in (OpCode.RECV, OpCode.ARECV):
-            _check_peer(node, op.peer, n_nodes, i)
-        elif code is OpCode.COMPUTE:
-            if op.duration < 0:
-                raise ValidationError(
-                    f"node {node} op {i}: negative compute duration")
-        elif code in (OpCode.LOAD, OpCode.STORE, OpCode.IFETCH,
-                      OpCode.BRANCH, OpCode.CALL, OpCode.RET):
-            if op.address < 0:
-                raise ValidationError(
-                    f"node {node} op {i}: negative address {op.address}")
-
-
-def _check_peer(node: int, peer: int, n_nodes: Optional[int], i: int) -> None:
-    if peer == node:
-        raise ValidationError(f"node {node} op {i}: self-communication")
-    if peer < 0 or (n_nodes is not None and peer >= n_nodes):
-        raise ValidationError(
-            f"node {node} op {i}: peer {peer} out of range")
+    from ..check.trace_passes import structural_diagnostics
+    diags = structural_diagnostics(trace, n_nodes)
+    if diags:
+        raise ValidationError(diags[0].message)
 
 
 def validate_trace_set(traces: TraceSet, check_matched: bool = True) -> None:
-    """Validate every trace and, optionally, communication matching.
+    """Validate every trace and, optionally, communication consistency.
 
-    Matching check: for every ordered pair (src, dst), the number of
-    messages sent from src to dst equals the number of receives posted
-    at dst naming src.  (Unmatched synchronous communication deadlocks
-    the simulation; this is the static version of that check, valid
-    because Mermaid receives name their source explicitly.)
+    With ``check_matched`` the full analyzer trace pipeline runs:
+    per-pair send/recv count matching (``TR004``) plus static deadlock
+    prediction over the operation order (``TR005``/``TR006``).  The
+    first error's message becomes the :class:`ValidationError`.
     """
     n = len(traces)
     for t in traces:
         validate_trace(t, n_nodes=n)
     if not check_matched:
         return
-    sends, recvs = communication_matrix(traces)
-    for src in range(n):
-        for dst in range(n):
-            if sends[src][dst] != recvs[src][dst]:
-                raise ValidationError(
-                    f"unmatched communication {src}->{dst}: "
-                    f"{sends[src][dst]} send(s) vs {recvs[src][dst]} recv(s)")
+    from ..check import check_traces
+    report = check_traces(traces, n_nodes=n)
+    errors = report.errors
+    if errors:
+        raise ValidationError(errors[0].message)
 
 
 def communication_matrix(traces: Iterable[Trace]) -> tuple[list, list]:

@@ -90,6 +90,8 @@ class Channel:
         sim = self.sim
         done = Event(sim, f"{self.name}.send")
         self.sent_count += 1
+        if sim.sanitizer is not None:
+            sim.sanitizer.record_channel(self.name, sim.now, "send")
         if self._receivers:
             # A receiver is already waiting: hand over directly.
             recv_ev = self._receivers.popleft()
@@ -114,6 +116,8 @@ class Channel:
         """Take the next message; yield the returned event to obtain it."""
         sim = self.sim
         got = Event(sim, f"{self.name}.recv")
+        if sim.sanitizer is not None:
+            sim.sanitizer.record_channel(self.name, sim.now, "recv")
         if self._buffer:
             message = self._buffer.popleft()
             self.received_count += 1

@@ -22,14 +22,24 @@ class DeadlockError(SimulationError):
     """The event queue drained while processes were still blocked.
 
     Carries the list of blocked process names so models can report which
-    components were waiting (e.g. a ``recv`` with no matching ``send``).
+    components were waiting (e.g. a ``recv`` with no matching ``send``),
+    and optionally structured ``diagnostics`` — ``RT001``
+    :class:`repro.check.Diagnostic` records naming the blocked
+    processes/channels (kept untyped here so the kernel never imports
+    the analyzer).
     """
 
-    def __init__(self, blocked: list[str]):
+    def __init__(self, blocked: list[str], diagnostics=None):
         self.blocked = list(blocked)
+        self.diagnostics = list(diagnostics) if diagnostics else []
+        detail = ""
+        if self.diagnostics:
+            detail = "\n" + "\n".join(
+                d.format() if hasattr(d, "format") else str(d)
+                for d in self.diagnostics)
         super().__init__(
             "simulation deadlock: no pending events but %d process(es) "
-            "blocked: %s" % (len(blocked), ", ".join(blocked))
+            "blocked: %s%s" % (len(blocked), ", ".join(blocked), detail)
         )
 
 

@@ -190,6 +190,10 @@ class Simulator:
         #: optional ``hook(time, process_or_callback)`` called before
         #: every executed event — the kernel-level run-time trace.
         self.trace_hook = trace_hook
+        #: optional :class:`repro.check.DeterminismSanitizer`; when set,
+        #: resources and channels report same-time conflicting operations
+        #: to it (see :meth:`attach_sanitizer`).
+        self.sanitizer = None
 
     # -- construction ----------------------------------------------------
 
@@ -206,6 +210,16 @@ class Simulator:
     def event(self, name: str = "") -> Event:
         """Create a fresh untriggered :class:`Event`."""
         return Event(self, name)
+
+    def attach_sanitizer(self, sanitizer) -> None:
+        """Opt in to determinism sanitizing for this simulation.
+
+        ``sanitizer`` must provide ``record_resource(name, now, granted)``
+        and ``record_channel(name, now, kind)`` — normally a
+        :class:`repro.check.DeterminismSanitizer`.  The hooks cost one
+        attribute check per resource/channel operation when detached.
+        """
+        self.sanitizer = sanitizer
 
     def timeout(self, delay: float, value: Any = None, name: str = "") -> Event:
         """An event that triggers ``delay`` time units from now."""

@@ -81,7 +81,8 @@ class Resource:
                 f"cannot acquire {units} units of {self.name!r} "
                 f"(capacity {self.capacity})")
         ev = Event(self.sim, f"{self.name}.acquire")
-        if not self._queue and self._in_use + units <= self.capacity:
+        granted = not self._queue and self._in_use + units <= self.capacity
+        if granted:
             self._account()
             self._in_use += units
             self.acquisitions += 1
@@ -90,6 +91,9 @@ class Resource:
             self._queue.append((ev, units, self.sim.now))
             if len(self._queue) > self.max_queue_len:
                 self.max_queue_len = len(self._queue)
+        sanitizer = self.sim.sanitizer
+        if sanitizer is not None:
+            sanitizer.record_resource(self.name, self.sim.now, granted)
         return ev
 
     def release(self, units: int = 1) -> None:

@@ -34,7 +34,6 @@ from ..operations.ops import (
     OpCode,
     Operation,
 )
-from ..operations.optypes import MEM_TYPE_BYTES, MemType
 from ..pearl import Simulator
 
 __all__ = ["SMPNodeModel", "SMPResult", "CPUActivity"]

@@ -14,7 +14,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from ..operations.optypes import ArithType, MemType
 
 __all__ = ["InstructionMix", "MemoryBehaviour", "CommunicationBehaviour",
            "StochasticAppDescription"]

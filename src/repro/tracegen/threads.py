@@ -28,9 +28,9 @@ from __future__ import annotations
 
 import threading
 from collections import deque
-from typing import Any, Callable, Iterator, Optional
+from typing import Any, Callable, Optional
 
-from ..operations.ops import GLOBAL_EVENT_OPS, OpCode, Operation
+from ..operations.ops import OpCode, Operation
 from ..operations.trace import Trace, TraceSet
 
 __all__ = ["NodeThread", "InterleavedStream", "FunctionalExecutor",

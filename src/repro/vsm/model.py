@@ -11,7 +11,7 @@ still works alongside — real VSM systems mix both.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Optional
 
 from ..commmodel.network import CommResult, MultiNodeModel
 from ..compmodel.node import SingleNodeModel

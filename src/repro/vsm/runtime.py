@@ -22,8 +22,6 @@ race-free).
 
 from __future__ import annotations
 
-from typing import Optional
-
 from ..operations.ops import OpCode, Operation
 from ..operations.optypes import MemType
 

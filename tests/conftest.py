@@ -65,3 +65,27 @@ def run_process(sim: Simulator, gen, **kwargs):
     proc = sim.process(gen)
     sim.run(**kwargs)
     return proc.result
+
+
+@pytest.fixture
+def assert_lint_clean():
+    """Assert an artifact passes ``repro check`` with zero errors.
+
+    Usage: ``assert_lint_clean(machine=...)``, ``(traces=..., n_nodes=N)``
+    or ``(description=..., n_nodes=N)`` — every bundled preset, app and
+    workload class is held to this in ``tests/test_check.py``.
+    """
+    from repro.check import check_description, check_machine, check_traces
+
+    def _check(*, machine=None, traces=None, description=None, n_nodes=None):
+        if machine is not None:
+            report = check_machine(machine)
+            assert report.ok, report.format()
+        if traces is not None:
+            report = check_traces(traces, n_nodes=n_nodes)
+            assert report.ok, report.format()
+        if description is not None:
+            report = check_description(description, n_nodes=n_nodes)
+            assert report.ok, report.format()
+
+    return _check

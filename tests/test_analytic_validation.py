@@ -109,7 +109,7 @@ class TestNetworkTiming:
 
     def test_compute_overlap_with_async_send(self):
         """asend then compute: total = overhead + max(compute, delivery)."""
-        from repro.operations import asend, arecv
+        from repro.operations import asend
         net = self.make_net(2, send_overhead=10.0, recv_overhead=0.0)
         size = 4000
         res = net.run([

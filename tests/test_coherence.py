@@ -2,19 +2,15 @@
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.core.config import (
-    BusConfig,
-    CacheConfig,
-    CacheLevelConfig,
-    ConfigError,
-    NodeConfig,
-)
+from repro.core.config import (CacheConfig,
+                               CacheLevelConfig,
+                               ConfigError,
+                               NodeConfig)
 from repro.compmodel import LineState
-from repro.operations import MemType, ifetch, load, store
+from repro.operations import MemType, load, store
 from repro.sharedmem import SMPNodeModel
 
 

@@ -16,25 +16,22 @@ from repro.core.config import (
     CPUConfig,
     NodeConfig,
 )
-from repro.operations import (
-    ArithType,
-    MemType,
-    OpCode,
-    add,
-    branch,
-    call,
-    compute,
-    div,
-    ifetch,
-    load,
-    load_const,
-    mul,
-    recv,
-    ret,
-    send,
-    store,
-    sub,
-)
+from repro.operations import (ArithType,
+                              MemType,
+                              OpCode,
+                              add,
+                              branch,
+                              call,
+                              compute,
+                              div,
+                              ifetch,
+                              load,
+                              load_const,
+                              mul,
+                              recv,
+                              ret,
+                              send,
+                              sub)
 
 
 class TestCPUCosts:

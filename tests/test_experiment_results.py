@@ -7,7 +7,6 @@ import pytest
 from repro import Sweep, Workbench, generic_multicomputer, vary_machine
 from repro.core.config import ConfigError
 from repro.core.results import ExperimentRecord
-from repro.operations import add
 
 
 class TestVaryMachine:

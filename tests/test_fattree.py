@@ -14,7 +14,7 @@ from repro.core.config import (
 )
 from repro.commmodel import MultiNodeModel
 from repro.operations import recv, send
-from repro.topology import build_topology, fat_tree, node_count, tree
+from repro.topology import build_topology, fat_tree, node_count
 
 
 def machine(arity=2, height=3, switching="virtual_cut_through"

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.apps import ThreadedApplication, make_pingpong
+from repro.apps import ThreadedApplication
 from repro.core.config import (
     CacheConfig,
     CacheLevelConfig,

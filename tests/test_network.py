@@ -6,7 +6,7 @@ import pytest
 
 from repro.commmodel import Message, MultiNodeModel
 from repro.core.config import MachineConfig, NetworkConfig, TopologyConfig
-from repro.operations import OpCode, arecv, asend, compute, ifetch, recv, send
+from repro.operations import arecv, asend, compute, ifetch, recv, send
 from repro.pearl import DeadlockError
 
 

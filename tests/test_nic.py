@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
-
 from repro.commmodel import MultiNodeModel
 from repro.core.config import MachineConfig, NetworkConfig, TopologyConfig
 from repro.operations import arecv, asend, compute, recv, send

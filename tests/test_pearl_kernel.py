@@ -4,13 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.pearl import (
-    DeadlockError,
-    Event,
-    SimTimeError,
-    SimulationError,
-    Simulator,
-)
+from repro.pearl import DeadlockError, SimTimeError, SimulationError, Simulator
 
 
 class TestHold:

@@ -2,16 +2,9 @@
 
 from __future__ import annotations
 
-import math
-
 import pytest
 
-from repro.operations import (
-    ARITHMETIC_OPS,
-    OpCode,
-    trace_mix,
-    validate_trace_set,
-)
+from repro.operations import OpCode, trace_mix, validate_trace_set
 from repro.tracegen import (
     CommunicationBehaviour,
     InstructionMix,

@@ -5,12 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.commmodel import MultiNodeModel
-from repro.core.config import (
-    ConfigError,
-    MachineConfig,
-    NetworkConfig,
-    TopologyConfig,
-)
+from repro.core.config import MachineConfig, NetworkConfig, TopologyConfig
 from repro.operations import recv, send
 
 

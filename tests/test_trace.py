@@ -5,23 +5,20 @@ from __future__ import annotations
 import pytest
 from hypothesis import given, strategies as st
 
-from repro.operations import (
-    ArithType,
-    MemType,
-    OpCode,
-    Operation,
-    Trace,
-    TraceSet,
-    TraceStream,
-    add,
-    compute,
-    ifetch,
-    load,
-    recv,
-    send,
-    store,
-    trace_mix,
-)
+from repro.operations import (ArithType,
+                              MemType,
+                              OpCode,
+                              Trace,
+                              TraceSet,
+                              TraceStream,
+                              add,
+                              compute,
+                              ifetch,
+                              load,
+                              recv,
+                              send,
+                              store,
+                              trace_mix)
 
 
 def sample_ops():

@@ -4,23 +4,20 @@ from __future__ import annotations
 
 import pytest
 
-from repro.operations import (
-    MemType,
-    Operation,
-    OpCode,
-    Trace,
-    TraceSet,
-    ValidationError,
-    arecv,
-    asend,
-    communication_matrix,
-    compute,
-    load,
-    recv,
-    send,
-    validate_trace,
-    validate_trace_set,
-)
+from repro.operations import (MemType,
+                              Operation,
+                              OpCode,
+                              Trace,
+                              TraceSet,
+                              ValidationError,
+                              arecv,
+                              asend,
+                              communication_matrix,
+                              compute,
+                              recv,
+                              send,
+                              validate_trace,
+                              validate_trace_set)
 
 
 class TestValidateTrace:

@@ -5,13 +5,8 @@ from __future__ import annotations
 import pytest
 
 from repro import generic_multicomputer
-from repro.operations import ArithType, MemType, OpCode
-from repro.vsm import (
-    SharedRegion,
-    VSMConfig,
-    VSMModel,
-    VSMRuntimeError,
-)
+from repro.operations import MemType
+from repro.vsm import SharedRegion, VSMConfig, VSMModel
 
 
 def machine(n=4):
