@@ -34,6 +34,7 @@ Package map (see DESIGN.md for the full inventory):
 * :mod:`repro.core`       — configuration, Workbench facade, experiments
 * :mod:`repro.parallel`   — parallel sweep execution + result caching
 * :mod:`repro.check`      — static analyzer (``repro check``) + sanitizer
+* :mod:`repro.observe`    — event tracing (Chrome export) + metric registry
 """
 
 from .core.config import (
@@ -59,6 +60,7 @@ from .check import (
 )
 from .core.experiment import Sweep, vary_machine
 from .core.workbench import Workbench
+from .observe import MetricRegistry, Tracer
 from .parallel import ParallelSweepRunner, ResultCache
 from .machines.presets import (
     generic_multicomputer,
@@ -72,8 +74,9 @@ __version__ = "1.0.0"
 __all__ = [
     "BusConfig", "CPUConfig", "CacheConfig", "CacheLevelConfig",
     "CheckError", "DeterminismSanitizer", "Diagnostic", "MachineConfig",
-    "MemoryConfig", "NetworkConfig", "NodeConfig", "ParallelSweepRunner",
-    "Report", "ResultCache", "Severity", "Sweep", "TopologyConfig",
+    "MemoryConfig", "MetricRegistry", "NetworkConfig", "NodeConfig",
+    "ParallelSweepRunner", "Report", "ResultCache", "Severity", "Sweep",
+    "TopologyConfig", "Tracer",
     "Workbench", "__version__", "check_description", "check_machine",
     "check_traces", "generic_multicomputer", "powerpc601_node", "smp_node",
     "t805_grid", "vary_machine",

@@ -10,7 +10,12 @@ no-code-needed tasks:
 * ``sweep``       — parameter sweep over a preset, optionally fanned
   out over worker processes (``--workers``) with content-addressed
   result caching (``--cache-dir``);
-* ``trace``       — profile (or dump) a saved ``.npz`` trace set.
+* ``trace``       — run a bundled app with the event tracer attached
+  and export Chrome ``trace_event`` JSON (``repro trace pingpong --out
+  trace.json``, opens in Perfetto / ``about://tracing``); also still
+  profiles (or dumps) a saved ``.npz`` trace set by path;
+* ``stats``       — run a bundled app and print every registered
+  metric (the :class:`~repro.observe.MetricRegistry` snapshot).
 
 Machines are named by preset, with overrides as ``key=value`` pairs
 (e.g. ``--set network.link_bandwidth=8``).
@@ -46,6 +51,27 @@ PRESETS: dict[str, Callable[[], MachineConfig]] = {
     "generic-fattree": lambda: _fattree(),
     "smp4": lambda: smp_node(4),
 }
+
+
+def _app_traces() -> dict[str, Callable]:
+    """Bundled task-level apps runnable by name (trace/stats commands)."""
+    from .apps import (alltoall_task_traces, pingpong_task_traces,
+                       pipeline_task_traces)
+    return {
+        "pingpong": pingpong_task_traces,
+        "alltoall": alltoall_task_traces,
+        "pipeline": pipeline_task_traces,
+    }
+
+
+def _resolve_app(name: str) -> Optional[str]:
+    """Map ``examples/pingpong.py`` / ``pingpong`` to an app name."""
+    app = name
+    if app.startswith("examples/"):
+        app = app[len("examples/"):]
+    if app.endswith(".py"):
+        app = app[:-3]
+    return app if app in _app_traces() else None
 
 
 def _fattree() -> MachineConfig:
@@ -198,7 +224,16 @@ def _sweep_point_runner(machine: MachineConfig, workload: Optional[str],
         "total_cycles": res.total_cycles,
         "mean_latency": res.message_latency.mean,
         "time_ms": res.total_cycles / machine.node.cpu.clock_hz * 1e3,
+        "events": res.events_executed,
     }
+
+
+def _sweep_progress(done: int, total: int, row: dict) -> None:
+    """Per-variant progress line on stderr (``sweep --progress``)."""
+    status = "error" if "error" in row else "ok"
+    wall = row.get("wall_time_s")
+    timing = f" {wall:.2f}s" if wall is not None else ""
+    print(f"  [{done}/{total}] {status}{timing}", file=sys.stderr)
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
@@ -227,7 +262,9 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     workload_id = (f"cli-stochastic:{args.workload or 'generic'}"
                    f":rounds={args.rounds}:seed={args.seed}")
     rows = sweep.run(runner, workers=args.workers, cache=cache,
-                     workload_id=workload_id)
+                     workload_id=workload_id,
+                     progress=_sweep_progress if args.progress else None,
+                     timing=args.timing)
     print(format_table(
         rows, title=f"sweep of {args.preset} "
                     f"({len(rows)} variants, workers={args.workers}):"))
@@ -333,13 +370,73 @@ def _cmd_check(args: argparse.Namespace) -> int:
     return 1 if n_errors else 0
 
 
+def _run_app_traced(app: str, preset: str, overrides: Sequence[str],
+                    ring: Optional[int] = None):
+    """Run a bundled app on a preset with a tracer attached.
+
+    Returns ``(model, tracer, result)``; shared by the ``trace`` and
+    ``stats`` commands.
+    """
+    from .commmodel.network import MultiNodeModel
+    from .observe import Tracer
+
+    machine = build_machine(preset, overrides)
+    model = MultiNodeModel(machine)
+    tracer = Tracer(capacity=ring)
+    model.sim.attach_tracer(tracer)
+    traces = _app_traces()[app](model.n_nodes)
+    result = model.run(list(traces))
+    return model, tracer, result
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
-    traces = TraceSet.load(args.path)
-    rows = trace_set_profile(traces)
-    print(format_table(rows, title=f"trace profile ({args.path}):"))
-    if args.dump is not None:
-        from .analysis import dump_trace
-        dump_trace(traces[args.dump_node], sys.stdout, limit=args.dump)
+    app = _resolve_app(args.path)
+    if app is None:
+        traces = TraceSet.load(args.path)
+        rows = trace_set_profile(traces)
+        print(format_table(rows, title=f"trace profile ({args.path}):"))
+        if args.dump is not None:
+            from .analysis import dump_trace
+            dump_trace(traces[args.dump_node], sys.stdout, limit=args.dump)
+        return 0
+
+    from .observe import validate_chrome_trace
+    model, tracer, result = _run_app_traced(app, args.preset,
+                                            args.set or (), args.ring)
+    doc = tracer.export_chrome(args.out)
+    counts = validate_chrome_trace(doc)
+    print(f"traced {app} on {args.preset}: "
+          f"{result.events_executed} kernel events, "
+          f"{tracer.emitted} trace records "
+          f"({tracer.dropped} dropped by the ring buffer)")
+    rows = [{"category": cat, "records": n}
+            for cat, n in sorted(tracer.counts_by_category().items())]
+    print(format_table(rows, title="records by category:"))
+    print(f"wrote {args.out} "
+          f"({sum(counts.values())} events; open in Perfetto or "
+          f"about://tracing)")
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    app = _resolve_app(args.app)
+    if app is None:
+        raise SystemExit(
+            f"unknown app {args.app!r}; choose from: "
+            + ", ".join(sorted(_app_traces())))
+    model, _tracer, result = _run_app_traced(app, args.preset,
+                                             args.set or ())
+    registry = model.registry
+    if args.json:
+        import json
+        print(json.dumps(registry.snapshot(), indent=2, sort_keys=True,
+                         default=str))
+        return 0
+    print(format_table(
+        registry.rows(),
+        title=f"{app} on {args.preset} "
+              f"({len(registry)} metric sources, "
+              f"{result.events_executed} kernel events):"))
     return 0
 
 
@@ -399,6 +496,11 @@ def _parser() -> argparse.ArgumentParser:
     p.add_argument("--workload", choices=sorted(_wl), default=None,
                    help="workload-class preset (default: generic "
                         "stochastic description)")
+    p.add_argument("--timing", action="store_true",
+                   help="add a per-variant wall_time_s column "
+                        "(nondeterministic; not cached)")
+    p.add_argument("--progress", action="store_true",
+                   help="print per-variant progress on stderr")
 
     p = sub.add_parser(
         "check", help="static analysis of machine configs, traces and "
@@ -428,11 +530,38 @@ def _parser() -> argparse.ArgumentParser:
                    help="never rewrite artifacts (reserved; checking is "
                         "already read-only)")
 
-    p = sub.add_parser("trace", help="profile a saved .npz trace set")
-    p.add_argument("path")
+    p = sub.add_parser(
+        "trace", help="trace a bundled app to Chrome JSON, or profile a "
+                      "saved .npz trace set")
+    p.add_argument("path",
+                   help="app name (pingpong/alltoall/pipeline, "
+                        "'examples/pingpong.py' also accepted) or a "
+                        ".npz trace-set path")
+    p.add_argument("--out", default="trace.json", metavar="FILE",
+                   help="Chrome trace_event JSON output (app mode; "
+                        "default trace.json)")
+    p.add_argument("--preset", choices=sorted(PRESETS),
+                   default="t805-grid-2x2",
+                   help="machine preset to trace the app on")
+    p.add_argument("--set", action="append", metavar="PATH=VALUE",
+                   help="config override, e.g. network.switching=wormhole")
+    p.add_argument("--ring", type=int, default=None, metavar="N",
+                   help="ring-buffer mode: keep only the last N records")
     p.add_argument("--dump", type=int, default=None, metavar="N",
-                   help="also dump the first N ops of one node")
+                   help="(.npz mode) also dump the first N ops of one node")
     p.add_argument("--dump-node", type=int, default=0)
+
+    p = sub.add_parser(
+        "stats", help="run a bundled app and print the metric-registry "
+                      "snapshot")
+    p.add_argument("app", nargs="?", default="pingpong",
+                   help="app name (default pingpong)")
+    p.add_argument("--preset", choices=sorted(PRESETS),
+                   default="t805-grid-2x2")
+    p.add_argument("--set", action="append", metavar="PATH=VALUE",
+                   help="config override, e.g. network.switching=wormhole")
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable snapshot on stdout")
     return parser
 
 
@@ -444,6 +573,7 @@ _COMMANDS = {
     "sweep": _cmd_sweep,
     "check": _cmd_check,
     "trace": _cmd_trace,
+    "stats": _cmd_stats,
 }
 
 

@@ -13,9 +13,22 @@ from __future__ import annotations
 import itertools
 from typing import Optional
 
-__all__ = ["Message", "Packet"]
+__all__ = ["Message", "Packet", "reset_message_ids"]
 
 _message_ids = itertools.count()
+
+
+def reset_message_ids() -> None:
+    """Restart the global message-id counter from zero.
+
+    Message ids only need to be unique within one simulation, but they
+    leak into trace record names (``pkt<id>.<index>``), so anything
+    comparing traces against a golden snapshot must pin the counter
+    first — otherwise the ids depend on how many messages earlier
+    tests created.
+    """
+    global _message_ids
+    _message_ids = itertools.count()
 
 
 class Message:

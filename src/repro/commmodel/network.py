@@ -13,6 +13,7 @@ from __future__ import annotations
 from typing import Iterable, Iterator, Optional, Sequence
 
 from ..core.config import MachineConfig
+from ..observe import MetricRegistry
 from ..operations.ops import OpCode, Operation
 from ..pearl import DeadlockError, Simulator, TallyMonitor
 from ..topology import build_topology
@@ -65,13 +66,15 @@ class CommResult:
 
     def __init__(self, machine: MachineConfig, total_cycles: float,
                  activity: list[NodeActivity], message_latency: TallyMonitor,
-                 engine_summary: dict, link_utilization: dict) -> None:
+                 engine_summary: dict, link_utilization: dict,
+                 events_executed: int = 0) -> None:
         self.machine = machine
         self.total_cycles = total_cycles
         self.activity = activity
         self.message_latency = message_latency
         self.engine_summary = engine_summary
         self.link_utilization = link_utilization
+        self.events_executed = events_executed
 
     @property
     def seconds(self) -> float:
@@ -115,7 +118,8 @@ class MultiNodeModel:
     """
 
     def __init__(self, machine: MachineConfig,
-                 sim: Optional[Simulator] = None) -> None:
+                 sim: Optional[Simulator] = None,
+                 registry: Optional[MetricRegistry] = None) -> None:
         machine.validate()
         self.machine = machine
         self.sim = sim if sim is not None else Simulator()
@@ -131,6 +135,15 @@ class MultiNodeModel:
         self.message_latency = TallyMonitor("message_latency")
         self.activity = [NodeActivity(i)
                          for i in range(self.topology.n_endpoints)]
+        self.registry = registry if registry is not None else MetricRegistry()
+        self.registry.register("network.message_latency",
+                               self.message_latency)
+        self.engine.register_metrics(self.registry)
+        for nic in self.nics:
+            self.registry.register(f"node{nic.node_id}.nic",
+                                   nic.stats.summary)
+        for act in self.activity:
+            self.registry.register(f"node{act.node}.activity", act.summary)
 
     @property
     def n_nodes(self) -> int:
@@ -140,6 +153,12 @@ class MultiNodeModel:
 
     def _on_delivery(self, msg: Message) -> None:
         self.message_latency.record(msg.latency)
+        tracer = self.sim.tracer
+        if tracer is not None:
+            tracer.instant("message", "deliver", self.sim.now,
+                           f"node{msg.dst}",
+                           {"src": msg.src, "dst": msg.dst,
+                            "bytes": msg.size, "latency": msg.latency})
         if msg.on_deliver is not None:
             # Protocol-internal traffic (VSM pages, invalidations, ...):
             # handled by its own layer, never enters the application NIC.
@@ -287,7 +306,8 @@ class MultiNodeModel:
     def result(self) -> CommResult:
         return CommResult(
             self.machine, self.sim.now, self.activity, self.message_latency,
-            self.engine.summary(), self.engine.link_utilizations())
+            self.engine.summary(), self.engine.link_utilizations(),
+            events_executed=self.sim.events_executed)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (f"<MultiNodeModel {self.machine.name!r} "

@@ -119,6 +119,11 @@ class NIC:
         """Called by the network model when ``msg`` is fully delivered."""
         self.stats.messages_received += 1
         self.stats.bytes_received += msg.size
+        tracer = self.sim.tracer
+        if tracer is not None:
+            tracer.instant("nic", "arrival", self.sim.now,
+                           f"nic{self.node_id}",
+                           {"src": msg.src, "bytes": msg.size})
         src = msg.src
         for i, (ev, sources) in enumerate(self._waiting):
             if src in sources:
@@ -130,6 +135,10 @@ class NIC:
             self._preposted[src] -= 1
             return
         self._arrivals.setdefault(src, deque()).append(msg)
+        tracer = self.sim.tracer
+        if tracer is not None:
+            tracer.counter(self.sim.now, f"nic{self.node_id}.buffered",
+                           self.buffered_messages, cat="nic")
 
     def sender_completion(self, msg: Message) -> None:
         """Called at delivery time to unblock a synchronous sender."""
@@ -188,6 +197,10 @@ class NIC:
                     best, best_key = queue, key
         if best is not None:
             msg = best.popleft()
+            tracer = self.sim.tracer
+            if tracer is not None:
+                tracer.counter(self.sim.now, f"nic{self.node_id}.buffered",
+                               self.buffered_messages, cat="nic")
         else:
             ev = Event(self.sim,
                        f"nic{self.node_id}.recv_any({sorted(sources)})")
@@ -209,6 +222,10 @@ class NIC:
         msg: Optional[Message] = None
         if buffered:
             msg = buffered.popleft()
+            tracer = self.sim.tracer
+            if tracer is not None:
+                tracer.counter(self.sim.now, f"nic{self.node_id}.buffered",
+                               self.buffered_messages, cat="nic")
         else:
             self._preposted[source] = self._preposted.get(source, 0) + 1
             self.stats.pre_posted += 1

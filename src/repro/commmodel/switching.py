@@ -87,6 +87,12 @@ class SwitchingEngine:
     def _packet_done(self, pkt: Packet, t_start: float) -> None:
         self.packet_latency.record(self.sim.now - t_start)
         msg = pkt.message
+        tracer = self.sim.tracer
+        if tracer is not None:
+            tracer.span("network", f"pkt{msg.id}.{pkt.index}", t_start,
+                        self.sim.now - t_start, "network",
+                        {"src": msg.src, "dst": msg.dst,
+                         "bytes": pkt.total_bytes})
         if msg.packet_arrived():
             msg.t_deliver = self.sim.now
             self.messages_delivered += 1
@@ -111,6 +117,18 @@ class SwitchingEngine:
             "packet_latency": self.packet_latency.summary(),
             "packet_hops": self.packet_hops.summary(),
         }
+
+    def register_metrics(self, registry) -> None:
+        """Expose this engine's monitors in a
+        :class:`~repro.observe.MetricRegistry`."""
+        registry.register("network.packet_latency", self.packet_latency)
+        registry.register("network.packet_hops", self.packet_hops)
+        registry.register("network.traffic", lambda: {
+            "messages_injected": self.messages_injected,
+            "messages_delivered": self.messages_delivered,
+        })
+        registry.register("network.link_utilization",
+                          self.link_utilizations)
 
 
 class StoreAndForward(SwitchingEngine):

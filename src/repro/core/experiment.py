@@ -85,7 +85,8 @@ class Sweep:
 
     def run(self, runner: Runner, *, workers: int | None = None,
             cache: Any = None, workload_id: str | None = None,
-            on_error: str = "capture", preflight: bool = True) -> list[dict]:
+            on_error: str = "capture", preflight: bool = True,
+            progress: Any = None, timing: bool = False) -> list[dict]:
         """Run ``runner(machine) -> metrics`` at every point.
 
         Returns one row per point: sweep coordinates merged with the
@@ -117,6 +118,14 @@ class Sweep:
             crashing mid-simulation.  ``preflight=False`` restores the
             pre-analyzer behaviour: :meth:`points` validates eagerly
             and the first invalid variant raises ``ConfigError``.
+        ``progress``
+            ``progress(done, total, row)`` callback fired as each row
+            resolves (cache hits included).  Variants that fail
+            preflight are reported before the pool starts.
+        ``timing``
+            add a nondeterministic ``wall_time_s`` column to executed
+            rows (opt-in; see
+            :meth:`repro.parallel.ParallelSweepRunner.run`).
         """
         from ..parallel import (ParallelSweepRunner, ResultCache,
                                 SweepVariantError)
@@ -126,8 +135,10 @@ class Sweep:
         if cache is not None and not isinstance(cache, ResultCache):
             cache = ResultCache(cache)
         points = self.points(validate=not preflight)
+        total = len(points)
         rows: list[dict | None] = [None] * len(points)
         good: list[tuple[int, tuple[dict, MachineConfig]]] = []
+        failed = 0
         if preflight:
             from ..check import check_machine
             for idx, (coords, machine) in enumerate(points):
@@ -139,11 +150,24 @@ class Sweep:
                 if on_error == "raise":
                     raise SweepVariantError(coords, message)
                 rows[idx] = {**coords, "error": message}
+                failed += 1
+                if progress is not None:
+                    progress(failed, total, rows[idx])
         else:
             good = list(enumerate(points))
+        pool_progress = None
+        if progress is not None:
+            # The pool counts only its own rows; shift past the
+            # preflight failures already reported.
+            offset = failed
+
+            def pool_progress(done: int, _pool_total: int, row: dict,
+                              ) -> None:
+                progress(done + offset, total, row)
         pool = ParallelSweepRunner(workers=workers or 1, cache=cache)
         ran = pool.run(runner, [pt for _, pt in good],
-                       workload_id=workload_id, on_error=on_error)
+                       workload_id=workload_id, on_error=on_error,
+                       progress=pool_progress, timing=timing)
         for (idx, _), row in zip(good, ran):
             rows[idx] = row
         return rows  # type: ignore[return-value]

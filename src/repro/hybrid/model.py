@@ -85,6 +85,11 @@ class HybridModel:
             for i in range(self.network.n_nodes)]
         self.task_stats = [TaskExtractionStats()
                            for _ in range(self.network.n_nodes)]
+        self.registry = self.network.registry
+        for i, model in enumerate(self.node_models):
+            self.registry.register(f"node{i}.compute", model.summary)
+        for i, stats in enumerate(self.task_stats):
+            self.registry.register(f"node{i}.tasks", stats.summary)
 
     @property
     def n_nodes(self) -> int:

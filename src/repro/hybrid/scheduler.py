@@ -20,7 +20,24 @@ from ..compmodel.tasks import TaskExtractionStats, extract_tasks
 from ..operations.ops import Operation
 from ..tracegen.threads import InterleavedStream
 
-__all__ = ["stream_hooks", "make_node_pipeline"]
+__all__ = ["stream_hooks", "make_node_pipeline", "traced_tasks"]
+
+
+def traced_tasks(network: MultiNodeModel, node_id: int,
+                 task_ops: Iterator[Operation]) -> Iterator[Operation]:
+    """Pass-through that marks each task-level operation boundary.
+
+    When a tracer is attached to the simulator, every operation handed
+    from the computational side to the node driver emits a ``task``
+    instant on the node's track — the hybrid hand-off points of Fig 2.
+    The check is per operation so a tracer attached mid-run is honored.
+    """
+    sim = network.sim
+    for op in task_ops:
+        tracer = sim.tracer
+        if tracer is not None:
+            tracer.task_boundary(sim.now, f"node{node_id}", repr(op))
+        yield op
 
 
 def stream_hooks(stream: InterleavedStream
@@ -55,6 +72,7 @@ def make_node_pipeline(network: MultiNodeModel, node_id: int,
     """
     task_ops = (extract_tasks(node_model, ops, stats)
                 if node_model is not None else ops)
+    task_ops = traced_tasks(network, node_id, task_ops)
     if stream is not None:
         payload_source, result_sink = stream_hooks(stream)
     else:

@@ -1,0 +1,23 @@
+"""``repro.observe`` — the workbench's observability layer.
+
+Two first-class instruments over a running simulation:
+
+* :class:`Tracer` — typed span/instant/counter records out of the
+  kernel, channels, resources, NICs, switching engines and the hybrid
+  scheduler; attach with
+  :meth:`~repro.pearl.kernel.Simulator.attach_tracer`.  Exports Chrome
+  ``trace_event`` JSON that opens directly in ``about://tracing`` /
+  Perfetto (``repro trace <app> --out trace.json``).
+* :class:`MetricRegistry` — namespaces every component's
+  :class:`~repro.pearl.TallyMonitor` / summary dict and snapshots them
+  into one flat experiment row (``repro stats``).
+
+Both are opt-in and zero-cost when detached (one ``None`` check per
+kernel operation, same as the PR-2 determinism sanitizer).
+"""
+
+from .registry import MetricRegistry
+from .tracer import Tracer, TraceRecord, validate_chrome_trace
+
+__all__ = ["MetricRegistry", "TraceRecord", "Tracer",
+           "validate_chrome_trace"]

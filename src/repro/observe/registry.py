@@ -1,0 +1,135 @@
+"""Metric registry — one namespace for every component's monitors.
+
+Mermaid's value as a *workbench* comes from "a suite of tools ... to
+visualize and analyze the simulation output" (PAPER.md Sec 5).  The
+models already measure plenty — :class:`~repro.pearl.TallyMonitor` /
+:class:`~repro.pearl.TimeWeightedMonitor` instances and ``summary()``
+dicts scattered across caches, buses, links, NICs and switching
+engines — but each component held its numbers privately.  A
+:class:`MetricRegistry` gives them one address space: components
+register their monitors under a dotted namespace at construction time,
+and :meth:`MetricRegistry.snapshot` flattens everything into a single
+``{"namespace.metric": value}`` dict ready to become an experiment row
+(`repro stats`, sweep columns, report tables).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, Optional, Union
+
+from ..pearl.kernel import Simulator
+from ..pearl.monitor import TallyMonitor, TimeWeightedMonitor
+
+__all__ = ["MetricRegistry"]
+
+#: a metric source: a monitor (``summary() -> dict``) or a zero-arg
+#: callable returning a dict of values.
+Source = Union[TallyMonitor, TimeWeightedMonitor, Callable[[], dict]]
+
+#: summary keys that label rather than measure — excluded from snapshots.
+_LABEL_KEYS = frozenset(("name",))
+
+
+class MetricRegistry:
+    """Namespaced registry of metric sources with flat snapshots.
+
+    ::
+
+        registry = MetricRegistry()
+        latency = registry.tally("network.message_latency")
+        registry.register("node0.nic", nic.stats.summary)   # callable
+        ...
+        row = registry.snapshot()
+        # {"network.message_latency.count": 42, ..., "node0.nic.bytes_sent": ...}
+
+    Sources are either monitor objects (anything with a ``summary() ->
+    dict`` method) or zero-argument callables returning a dict; nested
+    dicts flatten with dotted keys.  Namespaces are unique — a
+    collision raises ``ValueError`` at registration time, when the
+    duplicate is still attributable to a component.
+    """
+
+    __slots__ = ("_sources",)
+
+    def __init__(self) -> None:
+        self._sources: dict[str, Source] = {}
+
+    # -- registration -----------------------------------------------------
+
+    def register(self, namespace: str, source: Source) -> Source:
+        """Register ``source`` under ``namespace``; returns the source."""
+        if not namespace:
+            raise ValueError("metric namespace must be non-empty")
+        if namespace in self._sources:
+            raise ValueError(
+                f"metric namespace {namespace!r} already registered")
+        if not callable(source) and not hasattr(source, "summary"):
+            raise TypeError(
+                f"metric source for {namespace!r} must be a monitor with "
+                f".summary() or a zero-arg callable, got "
+                f"{type(source).__name__}")
+        self._sources[namespace] = source
+        return source
+
+    def tally(self, namespace: str, *,
+              keep_samples: bool = False) -> TallyMonitor:
+        """Create and register a :class:`TallyMonitor` in one step."""
+        monitor = TallyMonitor(namespace, keep_samples=keep_samples)
+        self.register(namespace, monitor)
+        return monitor
+
+    def level(self, namespace: str, sim: Simulator, *,
+              initial: float = 0.0) -> TimeWeightedMonitor:
+        """Create and register a :class:`TimeWeightedMonitor`."""
+        monitor = TimeWeightedMonitor(sim, namespace, initial=initial)
+        self.register(namespace, monitor)
+        return monitor
+
+    # -- introspection ----------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._sources)
+
+    def __contains__(self, namespace: str) -> bool:
+        return namespace in self._sources
+
+    def namespaces(self) -> list[str]:
+        """Registered namespaces, in registration order."""
+        return list(self._sources)
+
+    def get(self, namespace: str) -> Optional[Source]:
+        return self._sources.get(namespace)
+
+    # -- snapshots --------------------------------------------------------
+
+    def _flatten(self, prefix: str, data: dict) -> Iterator[tuple[str, object]]:
+        for key, value in data.items():
+            if key in _LABEL_KEYS:
+                continue
+            dotted = f"{prefix}.{key}"
+            if isinstance(value, dict):
+                yield from self._flatten(dotted, value)
+            else:
+                yield dotted, value
+
+    def snapshot(self) -> dict[str, object]:
+        """Every metric as one flat ``{"namespace.metric": value}`` dict.
+
+        Monitor sources contribute their ``summary()``; callable
+        sources contribute their returned dict; nested dicts flatten
+        with dotted keys.  The result is plain-JSON-serializable and
+        row-shaped for the experiment/report layer.
+        """
+        flat: dict[str, object] = {}
+        for namespace, source in self._sources.items():
+            data = source() if callable(source) else source.summary()
+            flat.update(self._flatten(namespace, data))
+        return flat
+
+    def rows(self) -> list[dict]:
+        """Snapshot as ``[{"metric": ..., "value": ...}]`` table rows."""
+        return [{"metric": key, "value": value}
+                for key, value in sorted(self.snapshot().items())]
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<MetricRegistry sources={len(self._sources)}>"

@@ -27,6 +27,7 @@ from __future__ import annotations
 import multiprocessing
 import os
 import pickle
+import time
 from concurrent.futures import BrokenExecutor, Future, ProcessPoolExecutor
 from typing import Any, Callable, Optional, Sequence
 
@@ -34,11 +35,13 @@ from ..core.config import MachineConfig
 from .cache import ResultCache
 
 __all__ = ["ParallelSweepRunner", "SweepVariantError", "default_workload_id",
-           "execute_variant"]
+           "execute_variant", "execute_variant_timed"]
 
 Runner = Callable[[MachineConfig], dict]
 #: one sweep point: (coordinates, machine variant)
 Point = tuple[dict, MachineConfig]
+#: progress callback: (rows completed so far, total rows, the new row)
+ProgressFn = Callable[[int, int, dict], None]
 
 
 def default_workload_id(runner: Runner) -> str:
@@ -75,6 +78,21 @@ def execute_variant(runner: Runner, machine: MachineConfig
     return "ok", metrics
 
 
+def execute_variant_timed(runner: Runner, machine: MachineConfig
+                          ) -> tuple[str, Any, float]:
+    """:func:`execute_variant` plus the variant's wall time in seconds."""
+    t0 = time.perf_counter()
+    status, payload = execute_variant(runner, machine)
+    return status, payload, time.perf_counter() - t0
+
+
+def _execute_untimed(runner: Runner, machine: MachineConfig
+                     ) -> tuple[str, Any, float]:
+    """Uniform (status, payload, wall) shape with wall pinned to 0.0."""
+    status, payload = execute_variant(runner, machine)
+    return status, payload, 0.0
+
+
 def _mp_context() -> Optional[multiprocessing.context.BaseContext]:
     """Prefer ``fork``: children inherit imported modules, so runners
     defined in non-importable modules (pytest files) still unpickle."""
@@ -107,13 +125,24 @@ class ParallelSweepRunner:
 
     def run(self, runner: Runner, points: Sequence[Point], *,
             workload_id: Optional[str] = None,
-            on_error: str = "capture") -> list[dict]:
-        """One metric row per point, in point order."""
+            on_error: str = "capture",
+            progress: Optional[ProgressFn] = None,
+            timing: bool = False) -> list[dict]:
+        """One metric row per point, in point order.
+
+        ``progress(done, total, row)`` is called once per resolved row —
+        cache hits first (during the scan), then executed variants in
+        point order.  ``timing=True`` adds a ``wall_time_s`` column to
+        every executed row (cache hits report ``0.0``); it is opt-in
+        because wall time is nondeterministic and would break row
+        equality between runs.  Wall times never enter the cache.
+        """
         if on_error not in ("capture", "raise"):
             raise ValueError(f"on_error must be 'capture' or 'raise', "
                              f"got {on_error!r}")
         wid = workload_id or default_workload_id(runner)
         rows: list[Optional[dict]] = [None] * len(points)
+        done = 0
 
         pending: list[tuple[int, str]] = []   # (point index, cache key)
         for idx, (coords, machine) in enumerate(points):
@@ -122,37 +151,51 @@ class ParallelSweepRunner:
                 key = self.cache.key_for(machine, wid)
                 cached = self.cache.get(key)
                 if cached is not None:
-                    rows[idx] = {**coords, **cached}
+                    row = {**coords, **cached}
+                    if timing:
+                        row["wall_time_s"] = 0.0
+                    rows[idx] = row
+                    done += 1
+                    if progress is not None:
+                        progress(done, len(points), row)
                     continue
             pending.append((idx, key))
 
         if pending:
             outcomes = self._execute(runner, [points[i][1]
-                                              for i, _ in pending])
-            for (idx, key), (status, payload) in zip(pending, outcomes):
+                                              for i, _ in pending],
+                                     timing=timing)
+            for (idx, key), (status, payload, wall) in zip(pending, outcomes):
                 coords, machine = points[idx]
                 if status == "ok":
                     if self.cache is not None:
                         self.cache.put(key, payload, meta={
                             "machine": machine.name, "workload_id": wid})
-                    rows[idx] = {**coords, **payload}
+                    row = {**coords, **payload}
                 elif on_error == "raise":
                     raise SweepVariantError(coords, payload)
                 else:
-                    rows[idx] = {**coords, "error": payload}
+                    row = {**coords, "error": payload}
+                if timing:
+                    row["wall_time_s"] = wall
+                rows[idx] = row
+                done += 1
+                if progress is not None:
+                    progress(done, len(points), row)
         return rows  # type: ignore[return-value]
 
     def _execute(self, runner: Runner,
-                 machines: Sequence[MachineConfig]
-                 ) -> list[tuple[str, Any]]:
+                 machines: Sequence[MachineConfig], *,
+                 timing: bool = False) -> list[tuple[str, Any, float]]:
+        task = execute_variant_timed if timing else _execute_untimed
         n_workers = min(self.workers, len(machines))
         if n_workers <= 1:
-            return [execute_variant(runner, m) for m in machines]
+            return [task(runner, m) for m in machines]
         try:
             with ProcessPoolExecutor(max_workers=n_workers,
                                      mp_context=_mp_context()) as pool:
                 futures: list[Future] = [
-                    pool.submit(execute_variant, runner, m)
+                    pool.submit(task, runner, m)
                     for m in machines]
                 return [f.result() for f in futures]
         except (OSError, ImportError, BrokenExecutor,
@@ -161,7 +204,7 @@ class ParallelSweepRunner:
             # runner, dead workers) — runner exceptions never surface
             # here, execute_variant captures them.  Simulations are
             # pure, so falling back to in-process execution is safe.
-            return [execute_variant(runner, m) for m in machines]
+            return [task(runner, m) for m in machines]
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (f"<ParallelSweepRunner workers={self.workers} "

@@ -92,6 +92,8 @@ class Channel:
         self.sent_count += 1
         if sim.sanitizer is not None:
             sim.sanitizer.record_channel(self.name, sim.now, "send")
+        if sim.tracer is not None:
+            sim.tracer.channel_send(sim.now, self.name)
         if self._receivers:
             # A receiver is already waiting: hand over directly.
             recv_ev = self._receivers.popleft()
@@ -118,6 +120,8 @@ class Channel:
         got = Event(sim, f"{self.name}.recv")
         if sim.sanitizer is not None:
             sim.sanitizer.record_channel(self.name, sim.now, "recv")
+        if sim.tracer is not None:
+            sim.tracer.channel_recv(sim.now, self.name)
         if self._buffer:
             message = self._buffer.popleft()
             self.received_count += 1

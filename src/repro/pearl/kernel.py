@@ -106,8 +106,12 @@ class Process:
 
     # -- scheduling ------------------------------------------------------
 
-    def _step(self, value: Any) -> None:
-        """Advance the generator one step and interpret what it yields."""
+    def _step(self, value: Any, tracer=None) -> None:
+        """Advance the generator one step and interpret what it yields.
+
+        ``tracer`` is passed down by the dispatch loop (a local there)
+        so the detached hot path pays no attribute lookup for it.
+        """
         self._scheduled = False
         self._blocked_on = None
         sim = self.sim
@@ -145,10 +149,20 @@ class Process:
                 raise SimTimeError(
                     f"process {self.name!r} yielded negative delay {delay}"
                 )
+            if tracer is not None:
+                tracer.hold(sim.now, delay, self.name)
             sim._schedule(sim.now + delay, self, None)
 
     def kill(self) -> None:
-        """Terminate the process by throwing :class:`ProcessKilledError` into it."""
+        """Terminate the process by throwing :class:`ProcessKilledError` into it.
+
+        A generator that traps :class:`ProcessKilledError` may run
+        cleanup but must not ``yield`` again: the kernel cannot resume a
+        killed process, so a post-kill yield raises
+        :class:`SimulationError` (after closing the generator).  Either
+        way the process ends up dead, off the event heap, and with its
+        ``terminated`` event triggered.
+        """
         if not self.alive:
             return
         # Detach from whatever it is waiting on.
@@ -158,14 +172,32 @@ class Process:
             except ValueError:
                 pass
             self._blocked_on = None
+        trapped = False
         try:
-            self.gen.throw(ProcessKilledError())
-        except (ProcessKilledError, StopIteration):
-            pass
-        self.alive = False
-        self.sim._live -= 1
-        if not self.terminated.triggered:
-            self.terminated.trigger(None)
+            try:
+                self.gen.throw(ProcessKilledError())
+            except (ProcessKilledError, StopIteration):
+                pass
+            else:
+                # The generator caught the kill and yielded again; it is
+                # still suspended and can never be resumed.
+                trapped = True
+                try:
+                    self.gen.close()
+                except RuntimeError:
+                    pass
+        finally:
+            self.alive = False
+            self.sim._live -= 1
+            if self._scheduled:
+                self._scheduled = False
+                self.sim._drop_scheduled(self)
+            if not self.terminated.triggered:
+                self.terminated.trigger(None)
+        if trapped:
+            raise SimulationError(
+                f"process {self.name!r} trapped ProcessKilledError and "
+                f"yielded again instead of terminating")
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<Process {self.name!r} {'alive' if self.alive else 'done'}>"
@@ -187,6 +219,7 @@ class Simulator:
         self._live: int = 0             # unfinished processes
         self._procs: list[Process] = []  # registry (for deadlock reports)
         self._running = False
+        self._dropped: int = 0          # heap entries removed by kill()
         #: optional ``hook(time, process_or_callback)`` called before
         #: every executed event — the kernel-level run-time trace.
         self.trace_hook = trace_hook
@@ -194,6 +227,11 @@ class Simulator:
         #: resources and channels report same-time conflicting operations
         #: to it (see :meth:`attach_sanitizer`).
         self.sanitizer = None
+        #: optional :class:`repro.observe.Tracer`; when set, the kernel,
+        #: channels and resources emit structured trace records (see
+        #: :meth:`attach_tracer`).  Costs one ``None`` check when
+        #: detached, like ``sanitizer``.
+        self.tracer = None
 
     # -- construction ----------------------------------------------------
 
@@ -221,6 +259,17 @@ class Simulator:
         """
         self.sanitizer = sanitizer
 
+    def attach_tracer(self, tracer) -> None:
+        """Opt in to structured event tracing for this simulation.
+
+        ``tracer`` must provide the record hooks of
+        :class:`repro.observe.Tracer` (``process_step``, ``hold``,
+        ``channel_send``/``channel_recv``, ``resource_acquire``/
+        ``resource_release``, ...).  Attach before :meth:`run`;
+        detached simulations pay only a ``None`` check per operation.
+        """
+        self.tracer = tracer
+
     def timeout(self, delay: float, value: Any = None, name: str = "") -> Event:
         """An event that triggers ``delay`` time units from now."""
         if delay < 0:
@@ -245,7 +294,73 @@ class Simulator:
         self._seq += 1
         heapq.heappush(self._heap, (time, self._seq, fn, value))
 
+    def _drop_scheduled(self, proc: Process) -> None:
+        """Remove a killed process's pending resume from the event heap.
+
+        Mutates the heap in place so aliases held by a running dispatch
+        loop stay valid; O(n), but only paid on :meth:`Process.kill`.
+        """
+        heap = self._heap
+        before = len(heap)
+        heap[:] = [entry for entry in heap if entry[2] is not proc]
+        heapq.heapify(heap)
+        self._dropped += before - len(heap)
+
     # -- execution ---------------------------------------------------------
+
+    def _dispatch(self, until: Optional[float], max_events: int) -> None:
+        """The single event-dispatch loop behind :meth:`run` and
+        :meth:`step` — both must fire ``trace_hook``/tracer and execute
+        targets identically, or single-stepping a model would produce a
+        different trace than running it.
+
+        ``max_events`` bounds how many events execute (``-1`` =
+        unbounded).
+        """
+        heap = self._heap
+        pop = heapq.heappop
+        hook = self.trace_hook
+        tracer = self.tracer
+        if tracer is None and max_events == -1:
+            # Detached bulk path: the same semantics with the
+            # instrumentation conditionals constant-folded away, so an
+            # untraced run() pays nothing for the tracing feature.
+            while heap:
+                time, _seq, target, value = heap[0]
+                if until is not None and time > until:
+                    self.now = until
+                    break
+                pop(heap)
+                self.now = time
+                if hook is not None:
+                    hook(time, target)
+                if type(target) is Process:
+                    if target.alive:
+                        target._step(value)
+                else:
+                    target(value)
+            return
+        executed = 0
+        while heap and executed != max_events:
+            time, _seq, target, value = heap[0]
+            if until is not None and time > until:
+                self.now = until
+                break
+            pop(heap)
+            executed += 1
+            self.now = time
+            if hook is not None:
+                hook(time, target)
+            if type(target) is Process:
+                if tracer is not None:
+                    tracer.process_step(time, target.name)
+                if target.alive:
+                    target._step(value, tracer)
+            else:
+                if tracer is not None:
+                    tracer.process_step(
+                        time, getattr(target, "__name__", "callback"))
+                target(value)
 
     def run(self, until: Optional[float] = None,
             check_deadlock: bool = False) -> float:
@@ -265,48 +380,49 @@ class Simulator:
         if self._running:
             raise SimulationError("run() is not reentrant")
         self._running = True
-        heap = self._heap
-        pop = heapq.heappop
-        hook = self.trace_hook
         try:
-            while heap:
-                time, _seq, target, value = heap[0]
-                if until is not None and time > until:
-                    self.now = until
-                    break
-                pop(heap)
-                self.now = time
-                if hook is not None:
-                    hook(time, target)
-                if type(target) is Process:
-                    if target.alive:
-                        target._step(value)
-                else:
-                    target(value)
+            self._dispatch(until, -1)
         finally:
             self._running = False
-        if check_deadlock and not heap and self._live > 0:
+        if check_deadlock and not self._heap and self._live > 0:
             blocked = [p.name for p in self._procs if p.alive]
             raise DeadlockError(blocked)
         return self.now
 
     def step(self) -> bool:
-        """Execute a single event; return False if none remain."""
+        """Execute a single event; return False if none remain.
+
+        Drives the same dispatch path as :meth:`run` (trace hook,
+        tracer, liveness checks), so interleaving ``step()`` with
+        ``run()`` produces the identical schedule and trace.
+        """
+        if self._running:
+            raise SimulationError("step() called while the simulator "
+                                  "is running")
         if not self._heap:
             return False
-        time, _seq, target, value = heapq.heappop(self._heap)
-        self.now = time
-        if type(target) is Process:
-            if target.alive:
-                target._step(value)
-        else:
-            target(value)
+        self._running = True
+        try:
+            self._dispatch(None, 1)
+        finally:
+            self._running = False
         return True
 
     @property
     def pending_events(self) -> int:
         """Number of scheduled (not yet executed) events."""
         return len(self._heap)
+
+    @property
+    def events_executed(self) -> int:
+        """Total events executed so far (over all run()/step() calls).
+
+        Derived, not counted: every ``_seq`` increment is one heap
+        push, and a pushed event is either still pending, was dropped
+        by :meth:`Process.kill`, or has executed — so the hot dispatch
+        loop carries no per-event bookkeeping for this.
+        """
+        return self._seq - len(self._heap) - self._dropped
 
     @property
     def live_processes(self) -> int:
@@ -322,22 +438,26 @@ class Simulator:
         """An event triggered once *all* of ``events`` have triggered.
 
         Triggers with the list of individual values, in input order.
+        Completion is always routed through the scheduler: the combined
+        event triggers at the completing time but strictly *after* the
+        completing call returns, whether the inputs were already
+        triggered at construction, trigger later, or the list is empty.
         """
         events = list(events)
         combined = Event(self, name)
-        remaining = [len(events)]
-        values: list[Any] = [None] * len(events)
         if not events:
-            # Trigger asynchronously to keep semantics uniform.
             self._schedule_call(self.now, combined.trigger, [])
             return combined
+        remaining = [len(events)]
+        values: list[Any] = [None] * len(events)
 
         def make_cb(i: int):
             def cb(value: Any) -> None:
                 values[i] = value
                 remaining[0] -= 1
                 if remaining[0] == 0:
-                    combined.trigger(list(values))
+                    self._schedule_call(self.now, combined.trigger,
+                                        list(values))
             return cb
 
         for i, ev in enumerate(events):
@@ -348,15 +468,20 @@ class Simulator:
         """An event triggered as soon as *any* of ``events`` triggers.
 
         Triggers with a tuple ``(index, value)`` of the first event to
-        fire; later triggers are ignored.
+        fire; later triggers are ignored.  Like :meth:`all_of`, the
+        combined trigger is scheduled, never fired synchronously from
+        inside the winning event's trigger (or the constructor).
         """
         events = list(events)
         combined = Event(self, name)
+        fired = [False]
 
         def make_cb(i: int):
             def cb(value: Any) -> None:
-                if not combined.triggered:
-                    combined.trigger((i, value))
+                if not fired[0]:
+                    fired[0] = True
+                    self._schedule_call(self.now, combined.trigger,
+                                        (i, value))
             return cb
 
         for i, ev in enumerate(events):

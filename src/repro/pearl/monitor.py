@@ -64,7 +64,12 @@ class TallyMonitor:
         return math.sqrt(self.variance)
 
     def merge(self, other: "TallyMonitor") -> None:
-        """Fold another monitor's samples into this one (parallel merge)."""
+        """Fold another monitor's samples into this one (parallel merge).
+
+        Merging into an empty monitor behaves like a copy: if ``other``
+        kept raw samples, they are adopted even when ``self`` was not
+        constructed with ``keep_samples=True``.
+        """
         if other.count == 0:
             return
         if self.count == 0:
@@ -74,16 +79,21 @@ class TallyMonitor:
             self.min = other.min
             self.max = other.max
             self.total = other.total
-        else:
-            n1, n2 = self.count, other.count
-            delta = other._mean - self._mean
-            n = n1 + n2
-            self._mean += delta * n2 / n
-            self._m2 += other._m2 + delta * delta * n1 * n2 / n
-            self.count = n
-            self.total += other.total
-            self.min = min(self.min, other.min)
-            self.max = max(self.max, other.max)
+            if other.samples is not None:
+                if self.samples is None:
+                    self.samples = list(other.samples)
+                else:
+                    self.samples.extend(other.samples)
+            return
+        n1, n2 = self.count, other.count
+        delta = other._mean - self._mean
+        n = n1 + n2
+        self._mean += delta * n2 / n
+        self._m2 += other._m2 + delta * delta * n1 * n2 / n
+        self.count = n
+        self.total += other.total
+        self.min = min(self.min, other.min)
+        self.max = max(self.max, other.max)
         if self.samples is not None and other.samples is not None:
             self.samples.extend(other.samples)
 
@@ -147,8 +157,18 @@ class TimeWeightedMonitor:
         return self._level
 
     def time_average(self, horizon: Optional[float] = None) -> float:
-        """Time-weighted mean level over [start, horizon or now]."""
+        """Time-weighted mean level over [start, horizon or now].
+
+        Supported horizons are ``>= `` the time of the last ``record``:
+        the monitor only keeps the integral up to that point plus the
+        *current* level, so an earlier horizon would back-extrapolate
+        the current level over spans where older levels actually held
+        (producing wrong, even out-of-range, averages).  Earlier
+        horizons therefore clamp to the last record time.
+        """
         end = self.sim.now if horizon is None else horizon
+        if end < self._last_time:
+            end = self._last_time
         span = end - self._start
         if span <= 0:
             return self._level

@@ -94,6 +94,10 @@ class Resource:
         sanitizer = self.sim.sanitizer
         if sanitizer is not None:
             sanitizer.record_resource(self.name, self.sim.now, granted)
+        tracer = self.sim.tracer
+        if tracer is not None:
+            tracer.resource_acquire(self.sim.now, self.name, granted,
+                                    self._in_use)
         return ev
 
     def release(self, units: int = 1) -> None:
@@ -114,6 +118,9 @@ class Resource:
             self.acquisitions += 1
             self.total_wait_time += self.sim.now - t_enq
             ev.trigger(None)
+        tracer = self.sim.tracer
+        if tracer is not None:
+            tracer.resource_release(self.sim.now, self.name, self._in_use)
 
     def use(self, hold_time: float, units: int = 1):
         """Generator helper: acquire, hold ``hold_time``, release."""

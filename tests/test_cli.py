@@ -93,6 +93,65 @@ class TestCommands:
             main([])
 
 
+class TestTraceAppCommand:
+    def test_trace_app_exports_valid_chrome_json(self, capsys, tmp_path):
+        import json
+
+        from repro.observe import validate_chrome_trace
+
+        out_path = str(tmp_path / "trace.json")
+        assert main(["trace", "pingpong", "--out", out_path]) == 0
+        out = capsys.readouterr().out
+        assert "traced pingpong" in out
+        assert "records by category" in out
+        with open(out_path) as fh:
+            doc = json.load(fh)
+        counts = validate_chrome_trace(doc)
+        assert counts.get("X", 0) > 0      # spans
+        assert counts.get("i", 0) > 0      # instants
+
+    def test_trace_app_examples_path_spelling(self, capsys, tmp_path):
+        out_path = str(tmp_path / "t.json")
+        assert main(["trace", "examples/pingpong.py",
+                     "--out", out_path]) == 0
+        assert "traced pingpong" in capsys.readouterr().out
+
+    def test_trace_app_ring_buffer(self, capsys, tmp_path):
+        out_path = str(tmp_path / "t.json")
+        assert main(["trace", "alltoall", "--out", out_path,
+                     "--ring", "50"]) == 0
+        out = capsys.readouterr().out
+        assert "dropped by the ring buffer" in out
+        assert "(0 dropped" not in out     # alltoall overflows 50 records
+
+    def test_trace_unknown_npz_path_fails(self):
+        with pytest.raises(Exception):
+            main(["trace", "no-such-app-or-file.npz"])
+
+
+class TestStatsCommand:
+    def test_stats_table(self, capsys):
+        assert main(["stats", "pingpong"]) == 0
+        out = capsys.readouterr().out
+        assert "metric sources" in out
+        assert "network.message_latency.count" in out
+        assert "node0.nic.messages_sent" in out
+
+    def test_stats_default_app(self, capsys):
+        assert main(["stats"]) == 0
+        assert "pingpong" in capsys.readouterr().out
+
+    def test_stats_json(self, capsys):
+        import json
+        assert main(["stats", "pipeline", "--json"]) == 0
+        snap = json.loads(capsys.readouterr().out)
+        assert snap["network.traffic.messages_delivered"] > 0
+
+    def test_stats_unknown_app(self):
+        with pytest.raises(SystemExit, match="unknown app"):
+            main(["stats", "mandelbrot"])
+
+
 class TestWorkloadClassOption:
     def test_stochastic_with_workload_preset(self, capsys):
         assert main(["stochastic", "generic-mesh", "--rounds", "3",
@@ -138,3 +197,16 @@ class TestSweepCommand:
     def test_axis_requires_values(self):
         with pytest.raises(SystemExit):
             main(["sweep", "t805-grid-2x2", "--axis", "no-equals"])
+
+    def test_rows_include_event_counts(self, capsys):
+        assert main(["sweep", "t805-grid-2x2", "--rounds", "2",
+                     "--axis", "network.link_bandwidth=2,4"]) == 0
+        assert "events" in capsys.readouterr().out
+
+    def test_timing_and_progress(self, capsys):
+        assert main(["sweep", "t805-grid-2x2", "--rounds", "2",
+                     "--axis", "network.link_bandwidth=2,4",
+                     "--timing", "--progress"]) == 0
+        captured = capsys.readouterr()
+        assert "wall_time_s" in captured.out
+        assert "[1/2]" in captured.err and "[2/2]" in captured.err

@@ -263,6 +263,64 @@ class TestCacheKeys:
         assert default_workload_id(echo_runner).endswith("echo_runner")
 
 
+class TestProgressAndTiming:
+    def test_progress_reports_every_row_in_order(self):
+        seen = []
+        rows = bw_sweep([1.0, 2.0, 4.0]).run(
+            echo_runner, workers=2,
+            progress=lambda done, total, row: seen.append((done, total,
+                                                           row["bw"])))
+        assert seen == [(1, 3, 1.0), (2, 3, 2.0), (3, 3, 4.0)]
+        assert len(rows) == 3
+
+    def test_progress_includes_cache_hits(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        bw_sweep([1.0, 2.0]).run(echo_runner, cache=cache)
+        seen = []
+        bw_sweep([1.0, 2.0]).run(
+            echo_runner, cache=cache,
+            progress=lambda done, total, row: seen.append(done))
+        assert seen == [1, 2]
+        assert cache.stats.hits == 2
+
+    def test_timing_adds_wall_time_column(self):
+        rows = bw_sweep([1.0, 2.0]).run(echo_runner, timing=True)
+        assert all("wall_time_s" in r for r in rows)
+        assert all(r["wall_time_s"] >= 0.0 for r in rows)
+
+    def test_timing_off_by_default(self):
+        rows = bw_sweep([1.0]).run(echo_runner)
+        assert "wall_time_s" not in rows[0]
+
+    def test_wall_time_never_cached(self, tmp_path):
+        """Cached rows must stay deterministic: wall times are recomputed
+        (0.0 for hits), never read back from the cache."""
+        cache = ResultCache(str(tmp_path))
+        first = bw_sweep([1.0]).run(echo_runner, cache=cache, timing=True)
+        again = bw_sweep([1.0]).run(echo_runner, cache=cache, timing=True)
+        assert again[0]["wall_time_s"] == 0.0
+        # And a timing-free re-run sees no timing key at all.
+        plain = bw_sweep([1.0]).run(echo_runner, cache=cache)
+        assert "wall_time_s" not in plain[0]
+        assert first[0]["bw_out"] == plain[0]["bw_out"]
+
+    def test_timing_rows_otherwise_identical_to_serial(self):
+        timed = bw_sweep([1.0, 2.0]).run(pingpong_runner, workers=2,
+                                         timing=True)
+        plain = bw_sweep([1.0, 2.0]).run(pingpong_runner)
+        stripped = [{k: v for k, v in r.items() if k != "wall_time_s"}
+                    for r in timed]
+        assert stripped == plain
+
+    def test_progress_with_error_rows(self):
+        seen = []
+        rows = bw_sweep([1.0, 2.0]).run(
+            failing_runner,
+            progress=lambda done, total, row: seen.append("error" in row))
+        assert seen == [False, True]
+        assert "error" in rows[1]
+
+
 class TestPoolFallback:
     def test_unpicklable_runner_falls_back_inline(self):
         """A lambda can't cross the process boundary; the sweep must

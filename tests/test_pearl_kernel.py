@@ -4,7 +4,8 @@ from __future__ import annotations
 
 import pytest
 
-from repro.pearl import DeadlockError, SimTimeError, SimulationError, Simulator
+from repro.pearl import (DeadlockError, ProcessKilledError, SimTimeError,
+                         SimulationError, Simulator)
 
 
 class TestHold:
@@ -181,6 +182,42 @@ class TestCombinators:
         sim.run()
         assert p.result == (1, "fast")
 
+    def test_all_of_already_triggered_is_deferred(self, sim):
+        """Inputs triggered before all_of() still complete through the
+        scheduler, never synchronously inside the constructor."""
+        e1, e2 = sim.event(), sim.event()
+        e1.trigger("x")
+        e2.trigger("y")
+        combined = sim.all_of([e1, e2])
+        assert not combined.triggered
+        sim.run()
+        assert combined.triggered
+        assert combined.value == ["x", "y"]
+
+    def test_all_of_empty_is_deferred(self, sim):
+        combined = sim.all_of([])
+        assert not combined.triggered
+        sim.run()
+        assert combined.triggered
+        assert combined.value == []
+
+    def test_any_of_already_triggered_is_deferred(self, sim):
+        ev = sim.event()
+        ev.trigger("ready")
+        combined = sim.any_of([ev])
+        assert not combined.triggered
+        sim.run()
+        assert combined.value == (0, "ready")
+
+    def test_any_of_simultaneous_triggers_fire_once(self, sim):
+        """Two inputs completing at the same instant must produce
+        exactly one combined trigger (the lower index wins)."""
+        e1, e2 = sim.timeout(5.0, "a"), sim.timeout(5.0, "b")
+        got = []
+        sim.any_of([e1, e2]).add_callback(got.append)
+        sim.run()
+        assert got == [(0, "a")]
+
 
 class TestProcesses:
     def test_result_and_terminated_event(self, sim):
@@ -242,6 +279,65 @@ class TestProcesses:
         sim.process(proc())
         with pytest.raises(RuntimeError, match="boom"):
             sim.run()
+
+    def test_kill_trapping_generator_raises(self, sim):
+        """A generator that catches ProcessKilledError and yields again
+        can never be resumed — kill() must refuse it loudly, not leave a
+        zombie on the books."""
+        def stubborn():
+            try:
+                yield sim.event()
+            except ProcessKilledError:
+                yield 1.0          # illegal: yielding after the kill
+        p = sim.process(stubborn(), name="stubborn")
+        sim.run()
+        with pytest.raises(SimulationError, match="trapped"):
+            p.kill()
+        # Even so the process must end up fully dead and accounted for.
+        assert not p.alive
+        assert sim.live_processes == 0
+        assert p.terminated.triggered
+
+    def test_kill_trapping_generator_may_clean_up(self, sim):
+        """Trapping for cleanup is fine as long as the generator then
+        finishes instead of yielding."""
+        cleaned = []
+
+        def tidy():
+            try:
+                yield sim.event()
+            except ProcessKilledError:
+                cleaned.append(True)
+        p = sim.process(tidy())
+        sim.run()
+        p.kill()
+        assert cleaned == [True]
+        assert not p.alive
+
+    def test_kill_scheduled_process_drops_heap_entry(self, sim):
+        """Killing a process with a pending resume must remove that
+        event, keeping pending_events truthful."""
+        def sleeper():
+            yield 10.0
+        p = sim.process(sleeper())
+        sim.step()                  # start event: sleeper now holds
+        assert sim.pending_events == 1
+        p.kill()
+        assert sim.pending_events == 0
+        assert sim.run() == 0.0     # nothing left to execute
+
+    def test_kill_scheduled_process_during_run(self, sim):
+        def victim_body():
+            yield 100.0
+            raise AssertionError("resumed after kill")
+        victim = sim.process(victim_body(), name="victim")
+
+        def killer():
+            yield 1.0
+            victim.kill()
+        sim.process(killer())
+        assert sim.run() == 1.0
+        assert not victim.alive
 
 
 class TestRun:
@@ -331,6 +427,82 @@ class TestDeterminism:
             sim.process(worker(tag))
         sim.run()
         assert order == list(range(6))
+
+
+class TestStepRunParity:
+    """step() and run() share one dispatch loop (PR-3 regression)."""
+
+    @staticmethod
+    def _workload(sim):
+        ch_ev = sim.event("gate")
+
+        def worker(i):
+            yield i * 0.5
+            yield 1.0
+            if i == 0:
+                ch_ev.trigger("go")
+            else:
+                yield ch_ev
+
+        for i in range(3):
+            sim.process(worker(i), name=f"w{i}")
+
+    def test_step_fires_trace_hook(self):
+        times = []
+        sim = Simulator(trace_hook=lambda t, target: times.append(t))
+
+        def proc():
+            yield 1.0
+        sim.process(proc())
+        while sim.step():
+            pass
+        assert times == [0.0, 1.0]
+
+    def test_step_while_running_raises(self, sim):
+        def proc():
+            yield 0.0
+            sim.step()
+        sim.process(proc())
+        with pytest.raises(SimulationError, match="step"):
+            sim.run()
+
+    def test_run_is_not_reentrant(self, sim):
+        def proc():
+            yield 0.0
+            sim.run()
+        sim.process(proc())
+        with pytest.raises(SimulationError, match="reentrant"):
+            sim.run()
+
+    def test_interleaved_step_run_identical_trace(self):
+        from repro.observe import Tracer
+
+        def trace(n_steps):
+            sim = Simulator()
+            tracer = Tracer()
+            sim.attach_tracer(tracer)
+            self._workload(sim)
+            for _ in range(n_steps):
+                assert sim.step()
+            sim.run()
+            return [(r.ph, r.cat, r.name, r.ts, r.dur, r.tid)
+                    for r in tracer.records]
+
+        pure_run = trace(0)
+        assert pure_run  # the workload produces records
+        for n_steps in (1, 3, 5):
+            assert trace(n_steps) == pure_run
+
+    def test_events_executed_counts_all_dispatches(self, sim):
+        def proc():
+            yield 1.0
+            yield 1.0
+        sim.process(proc())
+        assert sim.events_executed == 0
+        sim.step()
+        assert sim.events_executed == 1
+        sim.run()
+        assert sim.events_executed == 3   # start + two holds
 
 
 class TestTraceHook:

@@ -78,6 +78,50 @@ class TestTally:
             m.record(v)
         assert m.samples == [1.0, 2.0]
 
+    def test_merge_into_empty_adopts_samples(self):
+        """Merging into an empty monitor is a copy: the raw samples of
+        ``other`` must survive even when self lacked keep_samples."""
+        m1 = TallyMonitor()
+        m2 = TallyMonitor(keep_samples=True)
+        for v in (1.0, 2.0, 3.0):
+            m2.record(v)
+        m1.merge(m2)
+        assert m1.samples == [1.0, 2.0, 3.0]
+        m2.record(4.0)
+        assert m1.samples == [1.0, 2.0, 3.0]   # a copy, not an alias
+
+    def test_merge_into_empty_keep_samples_monitor(self):
+        m1 = TallyMonitor(keep_samples=True)
+        m2 = TallyMonitor(keep_samples=True)
+        m2.record(9.0)
+        m1.merge(m2)
+        assert m1.samples == [9.0]
+
+    @given(st.lists(st.lists(finite_floats, min_size=0, max_size=20),
+                    min_size=1, max_size=5))
+    def test_merge_chain_equals_concatenated_stream(self, chunks):
+        """Folding per-worker monitors together must equal recording the
+        concatenated sample stream into one monitor — the contract the
+        parallel sweep's result merging relies on."""
+        merged = TallyMonitor(keep_samples=True)
+        reference = TallyMonitor(keep_samples=True)
+        for chunk in chunks:
+            part = TallyMonitor(keep_samples=True)
+            for v in chunk:
+                part.record(v)
+                reference.record(v)
+            merged.merge(part)
+        assert merged.count == reference.count
+        assert merged.samples == reference.samples
+        assert merged.total == pytest.approx(reference.total, abs=1e-6)
+        assert merged.mean == pytest.approx(reference.mean,
+                                            rel=1e-9, abs=1e-6)
+        assert merged.variance == pytest.approx(reference.variance,
+                                                rel=1e-6, abs=1e-6)
+        if reference.count:
+            assert merged.min == reference.min
+            assert merged.max == reference.max
+
 
 class TestTimeWeighted:
     def test_time_average(self):
@@ -118,3 +162,21 @@ class TestTimeWeighted:
         sim = Simulator()
         m = TimeWeightedMonitor(sim, initial=7.0)
         assert m.time_average() == 7.0
+
+    def test_horizon_before_last_record_clamps(self):
+        """A horizon earlier than the last record would back-extrapolate
+        the current level over history; it clamps instead (regression:
+        this used to produce negative and out-of-range averages)."""
+        sim = Simulator()
+        m = TimeWeightedMonitor(sim, initial=10.0)
+
+        def proc():
+            yield 10.0
+            m.record(0.0)      # level 10 held over [0, 10]
+        sim.process(proc())
+        sim.run()
+        clamped = m.time_average(horizon=5.0)
+        assert clamped == pytest.approx(m.time_average(horizon=10.0))
+        assert clamped == pytest.approx(10.0)
+        # The average can never leave the observed level range.
+        assert m.min <= clamped <= m.max
