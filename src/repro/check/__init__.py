@@ -27,7 +27,16 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Optional
 
 from .description_passes import DESCRIPTION_PASSES
-from .diagnostics import RULES, Diagnostic, Report, Severity
+from .diagnostics import RULES, Diagnostic, Report, Severity, reports_to_dict
+from .lint import (
+    LINT_PASSES,
+    Baseline,
+    FileLint,
+    LintCache,
+    lint_file,
+    lint_paths,
+    lint_source,
+)
 from .machine_passes import MACHINE_PASSES
 from .passes import CheckContext, CheckPass, PassManager
 from .sanitizer import DeterminismSanitizer
@@ -39,10 +48,12 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..tracegen.descriptions import StochasticAppDescription
 
 __all__ = [
-    "CheckContext", "CheckError", "CheckPass", "DESCRIPTION_PASSES",
-    "Diagnostic", "DeterminismSanitizer", "MACHINE_PASSES", "PassManager",
-    "RULES", "Report", "Severity", "TRACE_PASSES", "check_description",
-    "check_machine", "check_traces", "ensure_ok",
+    "Baseline", "CheckContext", "CheckError", "CheckPass",
+    "DESCRIPTION_PASSES", "Diagnostic", "DeterminismSanitizer",
+    "FileLint", "LINT_PASSES", "LintCache", "MACHINE_PASSES",
+    "PassManager", "RULES", "Report", "Severity", "TRACE_PASSES",
+    "check_description", "check_machine", "check_traces", "ensure_ok",
+    "lint_file", "lint_paths", "lint_source", "reports_to_dict",
 ]
 
 

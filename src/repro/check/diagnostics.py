@@ -14,6 +14,7 @@ Rule-id families
 ``AD``   application-description passes (mix, branch model, node count)
 ``KD``   kernel determinism sanitizer (tie-break sensitivity)
 ``RT``   runtime reports (simulation deadlock details)
+``PY``   source lint of model/app Python code (``repro lint``)
 """
 
 from __future__ import annotations
@@ -23,7 +24,7 @@ from dataclasses import dataclass, field
 from enum import IntEnum
 from typing import Any, Iterable, Iterator, Optional
 
-__all__ = ["Severity", "Diagnostic", "Report", "RULES"]
+__all__ = ["Severity", "Diagnostic", "Report", "RULES", "reports_to_dict"]
 
 
 class Severity(IntEnum):
@@ -58,6 +59,16 @@ RULES: dict[str, str] = {
     "KD001": "same-time contention on a resource (tie-break sensitive)",
     "KD002": "same-time conflicting channel operations (tie-break sensitive)",
     "RT001": "simulation deadlock: blocked process details",
+    "PY000": "model source failed to parse (syntax error)",
+    "PY001": "unseeded or global-state random number generator",
+    "PY002": "wall-clock read in model code (time.time / datetime.now)",
+    "PY003": "iteration over an unordered set feeds event emission",
+    "PY010": "yield of a value that is neither an event nor a delay",
+    "PY011": "blocking channel/resource call discards its completion event",
+    "PY012": "resource acquired but not released on some path to exit",
+    "PY013": "hold/timeout with a negative literal duration",
+    "PY020": "process return value unobservable (handle discarded)",
+    "PY021": "yield of an event that may already have completed",
 }
 
 
@@ -92,6 +103,16 @@ class Diagnostic:
             "location": self.location,
             "hint": self.hint,
         }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "Diagnostic":
+        """Inverse of :meth:`to_dict` (lint-cache deserialization)."""
+        return cls(rule=data["rule"],
+                   severity=Severity[str(data["severity"]).upper()],
+                   message=data["message"],
+                   subject=data.get("subject", ""),
+                   location=data.get("location", ""),
+                   hint=data.get("hint", ""))
 
 
 @dataclass
@@ -167,3 +188,22 @@ class Report:
 
     def to_json(self, indent: Optional[int] = 2) -> str:
         return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+
+def reports_to_dict(reports: Iterable[Report],
+                    **extra: Any) -> dict[str, Any]:
+    """The one JSON schema shared by ``repro check`` and ``repro lint``.
+
+    ``{"ok", "n_errors", "n_warnings", "reports": [Report.to_dict()...]}``
+    plus any command-specific ``extra`` keys (e.g. baseline counters).
+    ``ok`` follows PR-2 semantics: only error severity fails.
+    """
+    materialized = list(reports)
+    out: dict[str, Any] = {
+        "ok": all(r.ok for r in materialized),
+        "n_errors": sum(len(r.errors) for r in materialized),
+        "n_warnings": sum(len(r.warnings) for r in materialized),
+        "reports": [r.to_dict() for r in materialized],
+    }
+    out.update(extra)
+    return out

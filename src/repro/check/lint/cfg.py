@@ -1,0 +1,222 @@
+"""Per-function control-flow graphs over Python ASTs.
+
+The graph is statement-granular: each simple statement (and each
+control-construct *header* — an ``if``/``while`` test, a ``for`` iter,
+a ``with`` item list) becomes one node.  Edges follow the usual
+control-flow rules; ``finally`` bodies are *inlined* along every exit
+path (normal fall-through, ``return``, ``break``/``continue`` crossing
+the ``try``, and ``raise``), which is what makes the resource-leak pass
+``try/finally``-aware without a separate exception lattice.  Exception
+edges are approximated: every node created inside a ``try`` body gets
+an edge to each handler's head.
+
+Nodes carry their statement; :func:`node_search_exprs` yields only the
+parts that belong to the node itself (headers of compound statements),
+so dataflow passes never double-count a loop body through its header.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+__all__ = ["CFG", "CFGNode", "build_cfg", "node_search_exprs"]
+
+
+@dataclass
+class CFGNode:
+    """One statement (or synthetic entry/exit/handler-head) node."""
+
+    index: int
+    stmt: Optional[ast.stmt] = None
+    succ: set[int] = field(default_factory=set)
+
+
+class CFG:
+    """A function's control-flow graph; node 0 = entry, node 1 = exit."""
+
+    def __init__(self) -> None:
+        self.nodes: list[CFGNode] = []
+        self.entry = self._new(None)
+        self.exit = self._new(None)
+
+    def _new(self, stmt: Optional[ast.stmt]) -> CFGNode:
+        node = CFGNode(index=len(self.nodes), stmt=stmt)
+        self.nodes.append(node)
+        return node
+
+    def preds(self) -> list[set[int]]:
+        """Predecessor sets, derived from the successor edges."""
+        out: list[set[int]] = [set() for _ in self.nodes]
+        for node in self.nodes:
+            for succ in node.succ:
+                out[succ].add(node.index)
+        return out
+
+
+@dataclass
+class _LoopCtx:
+    head: int                       # node to re-enter on ``continue``
+    breaks: list[int] = field(default_factory=list)
+    finally_depth: int = 0          # finally-stack depth at loop entry
+
+
+class _Builder:
+    def __init__(self, cfg: CFG) -> None:
+        self.cfg = cfg
+        self.loops: list[_LoopCtx] = []
+        self.finals: list[list[ast.stmt]] = []
+
+    # -- plumbing --------------------------------------------------------
+
+    def connect(self, frontier: list[int], target: int) -> None:
+        for index in frontier:
+            self.cfg.nodes[index].succ.add(target)
+
+    def seq(self, stmts: list[ast.stmt], frontier: list[int]) -> list[int]:
+        for stmt in stmts:
+            frontier = self.stmt(stmt, frontier)
+        return frontier
+
+    def _inline_finals(self, frontier: list[int],
+                       down_to: int = 0) -> list[int]:
+        """Route ``frontier`` through copies of the active finally
+        bodies (innermost first), stopping at stack depth ``down_to``."""
+        for body in reversed(self.finals[down_to:]):
+            frontier = self.seq(body, frontier)
+        return frontier
+
+    # -- statement dispatch ----------------------------------------------
+
+    def stmt(self, s: ast.stmt, frontier: list[int]) -> list[int]:
+        if isinstance(s, ast.If):
+            return self._if(s, frontier)
+        if isinstance(s, (ast.While, ast.For, ast.AsyncFor)):
+            return self._loop(s, frontier)
+        if isinstance(s, ast.Try):
+            return self._try(s, frontier)
+        if isinstance(s, (ast.With, ast.AsyncWith)):
+            node = self.cfg._new(s)
+            self.connect(frontier, node.index)
+            return self.seq(s.body, [node.index])
+        if isinstance(s, ast.Return):
+            node = self.cfg._new(s)
+            self.connect(frontier, node.index)
+            tail = self._inline_finals([node.index])
+            self.connect(tail, self.cfg.exit.index)
+            return []
+        if isinstance(s, ast.Raise):
+            node = self.cfg._new(s)
+            self.connect(frontier, node.index)
+            tail = self._inline_finals([node.index])
+            self.connect(tail, self.cfg.exit.index)
+            return []
+        if isinstance(s, ast.Break):
+            node = self.cfg._new(s)
+            self.connect(frontier, node.index)
+            if self.loops:
+                ctx = self.loops[-1]
+                tail = self._inline_finals([node.index], ctx.finally_depth)
+                ctx.breaks.extend(tail)
+            return []
+        if isinstance(s, ast.Continue):
+            node = self.cfg._new(s)
+            self.connect(frontier, node.index)
+            if self.loops:
+                ctx = self.loops[-1]
+                tail = self._inline_finals([node.index], ctx.finally_depth)
+                self.connect(tail, ctx.head)
+            return []
+        # Simple statement (includes nested def/class headers).
+        node = self.cfg._new(s)
+        self.connect(frontier, node.index)
+        return [node.index]
+
+    # -- compound forms --------------------------------------------------
+
+    def _if(self, s: ast.If, frontier: list[int]) -> list[int]:
+        test = self.cfg._new(s)
+        self.connect(frontier, test.index)
+        out = self.seq(s.body, [test.index])
+        if s.orelse:
+            out += self.seq(s.orelse, [test.index])
+        else:
+            out.append(test.index)
+        return out
+
+    def _loop(self, s: ast.While | ast.For | ast.AsyncFor,
+              frontier: list[int]) -> list[int]:
+        head = self.cfg._new(s)
+        self.connect(frontier, head.index)
+        self.loops.append(_LoopCtx(head=head.index,
+                                   finally_depth=len(self.finals)))
+        body_out = self.seq(s.body, [head.index])
+        self.connect(body_out, head.index)
+        ctx = self.loops.pop()
+        if s.orelse:
+            out = self.seq(s.orelse, [head.index])
+        else:
+            out = [head.index]
+        return out + ctx.breaks
+
+    def _try(self, s: ast.Try, frontier: list[int]) -> list[int]:
+        first_body_node = len(self.cfg.nodes)
+        if s.finalbody:
+            self.finals.append(s.finalbody)
+        body_out = self.seq(s.body, frontier)
+        if s.finalbody:
+            self.finals.pop()
+        body_nodes = range(first_body_node, len(self.cfg.nodes))
+
+        if s.orelse:
+            merged = self.seq(s.orelse, body_out)
+        else:
+            merged = list(body_out)
+
+        for handler in s.handlers:
+            head = self.cfg._new(None)
+            for index in body_nodes:
+                self.cfg.nodes[index].succ.add(head.index)
+            if not body_nodes:      # empty try body: reachable anyway
+                self.connect(frontier, head.index)
+            merged += self.seq(handler.body, [head.index])
+
+        if s.finalbody:
+            merged = self.seq(s.finalbody, merged)
+        return merged
+
+
+def build_cfg(func: ast.FunctionDef | ast.AsyncFunctionDef) -> CFG:
+    """Build the statement-level CFG of one function body."""
+    cfg = CFG()
+    builder = _Builder(cfg)
+    frontier = builder.seq(func.body, [cfg.entry.index])
+    builder.connect(frontier, cfg.exit.index)
+    return cfg
+
+
+def node_search_exprs(stmt: ast.stmt) -> Iterator[ast.AST]:
+    """The AST parts a dataflow pass should scan for *this* node.
+
+    Compound statements contribute only their headers — their bodies
+    are separate CFG nodes.  Nested function/class definitions
+    contribute nothing (separate scopes).
+    """
+    if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                         ast.ClassDef)):
+        return
+    if isinstance(stmt, ast.If) or isinstance(stmt, ast.While):
+        yield from ast.walk(stmt.test)
+    elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+        yield from ast.walk(stmt.iter)
+        yield from ast.walk(stmt.target)
+    elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+        for item in stmt.items:
+            yield from ast.walk(item.context_expr)
+            if item.optional_vars is not None:
+                yield from ast.walk(item.optional_vars)
+    elif isinstance(stmt, ast.Try):
+        return
+    else:
+        yield from ast.walk(stmt)

@@ -1,0 +1,257 @@
+"""Parsed source model for the ``repro lint`` analyzer.
+
+One :class:`SourceModule` per linted file: the AST, the raw lines,
+inline ``# repro: noqa[...]`` suppressions, an import map for resolving
+dotted call names (``np.random.rand`` → ``numpy.random.rand``), and the
+inventory of function definitions with generator/process classification.
+Passes consume this instead of re-walking the AST from scratch.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from ...pearl.introspect import (
+    BLOCKING_EVENT_METHODS,
+    EVENT_RETURNING_METHODS,
+    SELF_CONTAINED_HOLD_METHODS,
+)
+
+__all__ = ["FunctionInfo", "SourceModule", "iter_own_nodes", "parse_module"]
+
+#: ``# repro: noqa`` (blanket) or ``# repro: noqa[PY001, PY012]``.
+_NOQA_RE = re.compile(
+    r"#\s*repro:\s*noqa(?:\[(?P<rules>[A-Za-z0-9, ]+)\])?")
+
+_SCOPE_NODES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda,
+                ast.ClassDef)
+
+
+def iter_own_nodes(func: ast.FunctionDef | ast.AsyncFunctionDef
+                   ) -> Iterator[ast.AST]:
+    """Walk a function body without descending into nested scopes.
+
+    A nested ``def``/``lambda``/``class`` is yielded (so a pass can see
+    that it exists) but its children are not — its yields, returns and
+    calls belong to the nested scope's own analysis.
+    """
+    stack: list[ast.AST] = list(reversed(func.body))
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, _SCOPE_NODES):
+            continue
+        stack.extend(reversed(list(ast.iter_child_nodes(node))))
+
+
+@dataclass
+class FunctionInfo:
+    """One function definition found in the module."""
+
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+    qualname: str
+    is_generator: bool = False
+    #: name appears inside a ``*.process(...)`` call in this module —
+    #: the best static signal that the generator runs as a kernel
+    #: process (rather than as a ``yield from`` sub-generator).
+    is_process: bool = False
+    #: at least one registration keeps the Process handle (``p =
+    #: sim.process(...)``, yielded, passed on, ...) — the only ways
+    #: ``proc.result`` / ``proc.terminated`` stay observable.
+    process_observed: bool = False
+    #: the generator plausibly runs under the pearl kernel: it is
+    #: registered as a process, or its body uses the kernel API.
+    #: Ordinary Python generators (yielding tuples from a topology
+    #: walk, say) must not be held to process yield rules.
+    is_pearl: bool = False
+
+
+@dataclass
+class SourceModule:
+    """Everything the lint passes need to know about one file."""
+
+    path: str                      # display path (diagnostic subject)
+    source: str
+    tree: ast.Module
+    #: line number -> suppressed rule ids (``None`` = every rule).
+    suppressions: dict[int, Optional[frozenset[str]]] = field(
+        default_factory=dict)
+    #: local name -> fully qualified dotted name, for imported roots.
+    imports: dict[str, str] = field(default_factory=dict)
+    functions: list[FunctionInfo] = field(default_factory=list)
+
+    def is_suppressed(self, rule: str, lineno: int) -> bool:
+        if lineno not in self.suppressions:
+            return False
+        rules = self.suppressions[lineno]
+        return rules is None or rule in rules
+
+    def resolve(self, node: ast.expr) -> Optional[str]:
+        """Dotted name of ``node`` if it roots in an import, else None.
+
+        ``np.random.default_rng`` resolves to
+        ``numpy.random.default_rng`` under ``import numpy as np``;
+        a local variable (``rng.normal``) resolves to ``None``, which
+        is what keeps seeded-generator *method* calls out of PY001.
+        """
+        parts: list[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        base = self.imports.get(node.id)
+        if base is None:
+            return None
+        return ".".join([base, *reversed(parts)])
+
+
+def _collect_suppressions(source: str) -> dict[int, Optional[frozenset[str]]]:
+    out: dict[int, Optional[frozenset[str]]] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _NOQA_RE.search(line)
+        if not match:
+            continue
+        raw = match.group("rules")
+        if raw is None:
+            out[lineno] = None
+        else:
+            rules = frozenset(r.strip().upper() for r in raw.split(",")
+                              if r.strip())
+            # ``noqa[]`` would suppress nothing; treat as blanket.
+            out[lineno] = rules or None
+    return out
+
+
+def _collect_imports(tree: ast.Module) -> dict[str, str]:
+    imports: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                local = alias.asname or alias.name.split(".")[0]
+                # ``import a.b`` binds ``a``; ``import a.b as c`` binds
+                # ``c`` to the full dotted path.
+                imports[local] = alias.name if alias.asname else \
+                    alias.name.split(".")[0]
+        elif isinstance(node, ast.ImportFrom):
+            if node.module is None or node.level:
+                continue            # relative imports are project-local
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                local = alias.asname or alias.name
+                imports[local] = f"{node.module}.{alias.name}"
+    return imports
+
+
+def _function_is_generator(node: ast.FunctionDef | ast.AsyncFunctionDef
+                           ) -> bool:
+    return any(isinstance(n, (ast.Yield, ast.YieldFrom))
+               for n in iter_own_nodes(node))
+
+
+def _function_uses_kernel_api(node: ast.FunctionDef | ast.AsyncFunctionDef
+                              ) -> bool:
+    """Body evidence that a generator runs under the pearl kernel.
+
+    Any of: a call to an event-returning kernel method
+    (``.acquire``/``.send``/``.receive``/``.timeout``/...), a
+    ``yield from`` of a self-contained hold (``.use``/``.using``), or a
+    blocking-method call anywhere in the body.
+    """
+    for n in iter_own_nodes(node):
+        if isinstance(n, ast.Call) and isinstance(n.func, ast.Attribute):
+            if n.func.attr in EVENT_RETURNING_METHODS \
+                    or n.func.attr in BLOCKING_EVENT_METHODS:
+                return True
+        if isinstance(n, ast.YieldFrom) \
+                and isinstance(n.value, ast.Call) \
+                and isinstance(n.value.func, ast.Attribute) \
+                and n.value.func.attr in SELF_CONTAINED_HOLD_METHODS:
+            return True
+    return False
+
+
+def _registered_names(call: ast.Call) -> Iterator[str]:
+    """Generator names referenced by one ``*.process(...)`` call.
+
+    Matches ``sim.process(worker())``, ``sim.process(worker(a, b),
+    name=...)`` and ``sim.process(gen)`` — the module-local evidence
+    that a generator function is registered as a kernel process.
+    """
+    for arg in call.args:
+        target: ast.expr = arg
+        if isinstance(target, ast.Call):
+            target = target.func
+        if isinstance(target, ast.Name):
+            yield target.id
+        elif isinstance(target, ast.Attribute):
+            yield target.attr
+
+
+def _collect_process_names(
+        tree: ast.Module) -> tuple[frozenset[str], frozenset[str]]:
+    """``(registered, observed)`` generator names.
+
+    *registered*: the name appears in any ``*.process(...)`` call.
+    *observed*: at least one of those calls keeps the returned Process
+    handle (anything but a bare expression statement) — the only ways
+    the process's ``result``/``terminated`` event stay reachable.
+    """
+    discarded_calls: set[int] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Expr) and isinstance(node.value, ast.Call):
+            discarded_calls.add(id(node.value))
+    registered: set[str] = set()
+    observed: set[str] = set()
+    for node in ast.walk(tree):
+        if not (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "process"):
+            continue
+        for name in _registered_names(node):
+            registered.add(name)
+            if id(node) not in discarded_calls:
+                observed.add(name)
+    return frozenset(registered), frozenset(observed)
+
+
+def _collect_functions(tree: ast.Module) -> list[FunctionInfo]:
+    registered, observed = _collect_process_names(tree)
+    out: list[FunctionInfo] = []
+
+    def visit(node: ast.AST, prefix: str) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qual = f"{prefix}{child.name}"
+                is_gen = _function_is_generator(child)
+                is_process = child.name in registered
+                out.append(FunctionInfo(
+                    node=child, qualname=qual,
+                    is_generator=is_gen,
+                    is_process=is_process,
+                    process_observed=child.name in observed,
+                    is_pearl=is_gen and (
+                        is_process or _function_uses_kernel_api(child))))
+                visit(child, f"{qual}.")
+            elif isinstance(child, ast.ClassDef):
+                visit(child, f"{prefix}{child.name}.")
+            else:
+                visit(child, prefix)
+
+    visit(tree, "")
+    return out
+
+
+def parse_module(source: str, path: str) -> SourceModule:
+    """Parse ``source`` into a :class:`SourceModule` (raises SyntaxError)."""
+    tree = ast.parse(source, filename=path)
+    module = SourceModule(
+        path=path, source=source, tree=tree,
+        suppressions=_collect_suppressions(source),
+        imports=_collect_imports(tree),
+        functions=_collect_functions(tree))
+    return module

@@ -333,7 +333,7 @@ def _check_determinism(machine, preset: str):
 
 def _cmd_check(args: argparse.Namespace) -> int:
     from .check import (RULES, check_description, check_machine,
-                        check_traces)
+                        check_traces, reports_to_dict)
 
     if args.rules:
         rows = [{"rule": rule, "description": text}
@@ -354,13 +354,18 @@ def _cmd_check(args: argparse.Namespace) -> int:
                                        subject=f"description:{name}")
         reports.append(report)
 
+    if args.code:
+        from pathlib import Path
+
+        from .check.lint import iter_lint_targets, lint_file
+        for path in iter_lint_targets([Path(p) for p in args.code]):
+            reports.append(lint_file(path).report)
+
     n_errors = sum(len(r.errors) for r in reports)
     if args.json:
         import json
-        print(json.dumps({"ok": n_errors == 0,
-                          "n_errors": n_errors,
-                          "reports": [r.to_dict() for r in reports]},
-                         indent=2, sort_keys=True))
+        print(json.dumps(reports_to_dict(reports), indent=2,
+                         sort_keys=True))
     else:
         for report in reports:
             print(report.format())
@@ -368,6 +373,59 @@ def _cmd_check(args: argparse.Namespace) -> int:
         print(f"checked {len(reports)} artifact(s): "
               f"{n_errors} error(s), {n_warn} warning(s)")
     return 1 if n_errors else 0
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from .check import reports_to_dict
+    from .check.lint import (Baseline, LintCache, iter_lint_targets,
+                             lint_file)
+    from .check.diagnostics import Severity
+
+    cache = LintCache(args.cache_dir) if args.cache_dir else None
+    targets = iter_lint_targets([Path(p) for p in args.paths])
+    results = [lint_file(p, cache=cache) for p in targets]
+    reports = [r.report for r in results]
+    all_diags = [d for r in reports for d in r.diagnostics]
+    suppressed = sum(r.suppressed for r in results)
+
+    baseline_path = Path(args.baseline) if args.baseline else None
+    if args.update_baseline:
+        if baseline_path is None:
+            raise SystemExit("--update-baseline requires --baseline FILE")
+        baseline = Baseline.from_reports(reports)
+        baseline.save(baseline_path)
+        print(f"wrote {baseline_path} ({len(baseline)} finding(s) "
+              f"baselined)")
+        return 0
+
+    baseline = Baseline.load(baseline_path) if baseline_path else Baseline()
+    new, known = baseline.split(all_diags)
+    new_errors = [d for d in new if d.severity is Severity.ERROR]
+
+    if args.json:
+        import json
+        payload = reports_to_dict(
+            reports, ok=not new_errors, n_new=len(new),
+            n_baselined=len(known), n_suppressed=suppressed)
+        if cache is not None:
+            payload["cache"] = {"hits": cache.stats.hits,
+                                "misses": cache.stats.misses,
+                                "stores": cache.stats.stores}
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        for report in reports:
+            if report.diagnostics:
+                print(report.format())
+        n_errors = sum(len(r.errors) for r in reports)
+        n_warn = sum(len(r.warnings) for r in reports)
+        print(f"linted {len(results)} file(s): {n_errors} error(s) "
+              f"({len(new_errors)} new), {n_warn} warning(s), "
+              f"{len(known)} baselined, {suppressed} suppressed")
+        if cache is not None:
+            print(f"cache: {cache.stats.format()}")
+    return 1 if new_errors else 0
 
 
 def _run_app_traced(app: str, preset: str, overrides: Sequence[str],
@@ -526,9 +584,30 @@ def _parser() -> argparse.ArgumentParser:
     p.add_argument("--determinism", action="store_true",
                    help="also run a short sanitized simulation per "
                         "machine, flagging tie-break-sensitive schedules")
+    p.add_argument("--code", action="append", metavar="PATH",
+                   help="also lint Python model source at PATH "
+                        "(file or directory, repeatable; PY rules)")
     p.add_argument("--fix-none", action="store_true", dest="fix_none",
                    help="never rewrite artifacts (reserved; checking is "
                         "already read-only)")
+
+    p = sub.add_parser(
+        "lint", help="source-level lint of model/app Python code "
+                     "(determinism hazards, pearl-API misuse, hygiene)")
+    p.add_argument("paths", nargs="+", metavar="PATH",
+                   help="Python files or directories to lint")
+    p.add_argument("--baseline", default=None, metavar="FILE",
+                   help="JSON baseline of accepted findings; only new "
+                        "findings gate the exit code")
+    p.add_argument("--update-baseline", action="store_true",
+                   help="rewrite --baseline FILE from current findings "
+                        "and exit")
+    p.add_argument("--cache-dir", default=None, metavar="DIR",
+                   help="incremental cache keyed by file content and "
+                        "analyzer version")
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable diagnostics on stdout "
+                        "(same schema as `repro check --json`)")
 
     p = sub.add_parser(
         "trace", help="trace a bundled app to Chrome JSON, or profile a "
@@ -572,6 +651,7 @@ _COMMANDS = {
     "stochastic": _cmd_stochastic,
     "sweep": _cmd_sweep,
     "check": _cmd_check,
+    "lint": _cmd_lint,
     "trace": _cmd_trace,
     "stats": _cmd_stats,
 }

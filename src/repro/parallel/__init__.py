@@ -15,7 +15,13 @@ Normally reached through ``Sweep.run(runner, workers=..., cache=...)``
 (see :mod:`repro.core.experiment`) or the ``repro sweep`` CLI command.
 """
 
-from .cache import CacheStats, ResultCache, code_version, result_key
+from .cache import (
+    CacheStats,
+    ResultCache,
+    code_version,
+    result_key,
+    sources_digest,
+)
 from .runner import (
     ParallelSweepRunner,
     SweepVariantError,
@@ -26,4 +32,5 @@ from .runner import (
 __all__ = [
     "CacheStats", "ParallelSweepRunner", "ResultCache", "SweepVariantError",
     "code_version", "default_workload_id", "execute_variant", "result_key",
+    "sources_digest",
 ]

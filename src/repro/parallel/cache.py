@@ -33,7 +33,23 @@ from typing import Any, Optional
 
 from ..core.config import MachineConfig
 
-__all__ = ["CacheStats", "ResultCache", "code_version", "result_key"]
+__all__ = ["CacheStats", "ResultCache", "code_version", "result_key",
+           "sources_digest"]
+
+
+def sources_digest(root: Path, pattern: str = "*.py") -> str:
+    """Stable digest of every ``pattern`` file under ``root``.
+
+    Paths (relative) and contents both feed the hash, so renames count
+    as changes.  Shared by :func:`code_version` and the lint analyzer's
+    rule-set version (``repro.check.lint.cache``).
+    """
+    digest = hashlib.sha256()
+    for path in sorted(root.rglob(pattern)):
+        digest.update(str(path.relative_to(root)).encode())
+        digest.update(b"\0")
+        digest.update(path.read_bytes())
+    return digest.hexdigest()[:16]
 
 
 @lru_cache(maxsize=1)
@@ -43,13 +59,7 @@ def code_version() -> str:
     Any change to the simulator produces a new version, invalidating
     cached results computed by older code.
     """
-    package_dir = Path(__file__).resolve().parent.parent
-    digest = hashlib.sha256()
-    for path in sorted(package_dir.rglob("*.py")):
-        digest.update(str(path.relative_to(package_dir)).encode())
-        digest.update(b"\0")
-        digest.update(path.read_bytes())
-    return digest.hexdigest()[:16]
+    return sources_digest(Path(__file__).resolve().parent.parent)
 
 
 def _canonical_json(obj: Any) -> str:

@@ -22,19 +22,29 @@ from .errors import (
     SimTimeError,
     SimulationError,
 )
+from .introspect import (
+    BLOCKING_EVENT_METHODS,
+    EVENT_RETURNING_METHODS,
+    RELEASE_METHODS,
+    SELF_CONTAINED_HOLD_METHODS,
+)
 from .kernel import Event, Process, Simulator
 from .monitor import TallyMonitor, TimeWeightedMonitor
 from .resource import Resource
 
 __all__ = [
+    "BLOCKING_EVENT_METHODS",
     "Channel",
     "ChannelClosedError",
     "DeadlockError",
+    "EVENT_RETURNING_METHODS",
     "Event",
     "PearlError",
     "Process",
     "ProcessKilledError",
+    "RELEASE_METHODS",
     "Resource",
+    "SELF_CONTAINED_HOLD_METHODS",
     "SimTimeError",
     "SimulationError",
     "Simulator",

@@ -1,0 +1,46 @@
+"""Canonical names of the Pearl kernel API, for tooling.
+
+The ``repro lint`` source analyzer reasons about model code that calls
+into this package: which methods return yield-able :class:`Event`
+objects, which ones block (and therefore lose their completion event if
+the result is discarded), and which helpers are self-contained
+acquire-hold-release generators.  Those name sets live here — next to
+the kernel itself — so the linter can never drift out of sync with the
+API it checks (a test asserts every name below exists on the class it
+claims to describe).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "BLOCKING_EVENT_METHODS",
+    "EVENT_RETURNING_METHODS",
+    "RELEASE_METHODS",
+    "SELF_CONTAINED_HOLD_METHODS",
+]
+
+#: Methods that return an :class:`~repro.pearl.kernel.Event` the caller
+#: must ``yield`` — mapped to the class that defines them.
+EVENT_RETURNING_METHODS: dict[str, str] = {
+    "acquire": "Resource",
+    "send": "Channel",
+    "receive": "Channel",
+    "timeout": "Simulator",
+    "event": "Simulator",
+    "all_of": "Simulator",
+    "any_of": "Simulator",
+}
+
+#: The subset whose semantics *block* the calling process: discarding
+#: the returned event silently turns a blocking operation into a no-op
+#: wait (the classic ``ch.send(x)``-without-``yield`` bug).
+BLOCKING_EVENT_METHODS: frozenset[str] = frozenset(
+    {"acquire", "send", "receive"})
+
+#: Generator helpers that acquire, hold and release internally; calling
+#: code ``yield from``s them and owes no explicit ``release``.
+#: (``using`` is the Pearl-DSL name; this substrate spells it ``use``.)
+SELF_CONTAINED_HOLD_METHODS: frozenset[str] = frozenset({"use", "using"})
+
+#: Methods that return capacity taken by a matching ``acquire``.
+RELEASE_METHODS: frozenset[str] = frozenset({"release"})

@@ -108,6 +108,12 @@ class Resource:
                 f"on {self.name!r}")
         self._account()
         self._in_use -= units
+        self._grant_queued()
+        tracer = self.sim.tracer
+        if tracer is not None:
+            tracer.resource_release(self.sim.now, self.name, self._in_use)
+
+    def _grant_queued(self) -> None:
         # Strict FIFO: grant from the head only, never skip ahead.
         while self._queue:
             ev, need, t_enq = self._queue[0]
@@ -118,17 +124,45 @@ class Resource:
             self.acquisitions += 1
             self.total_wait_time += self.sim.now - t_enq
             ev.trigger(None)
-        tracer = self.sim.tracer
-        if tracer is not None:
-            tracer.resource_release(self.sim.now, self.name, self._in_use)
+
+    def cancel(self, event: Event) -> bool:
+        """Withdraw a still-queued acquire request.
+
+        Returns True if ``event`` was waiting in the queue (it will now
+        never trigger).  Removing a head request whose ``units`` demand
+        was blocking smaller requests behind it re-runs FIFO granting.
+        A request that was already granted cannot be cancelled — the
+        holder owns capacity and must :meth:`release` it.
+        """
+        for i, (ev, _units, _t_enq) in enumerate(self._queue):
+            if ev is event:
+                del self._queue[i]
+                self._grant_queued()
+                return True
+        return False
 
     def use(self, hold_time: float, units: int = 1):
-        """Generator helper: acquire, hold ``hold_time``, release."""
-        yield self.acquire(units)
+        """Generator helper: acquire, hold ``hold_time``, release.
+
+        Exception-safe in every phase: if the calling process is
+        ``kill()``ed (or any exception is thrown in) while *holding*,
+        the units are released; while still *queued* for the grant, the
+        request is cancelled — either way no capacity leaks.
+        """
+        # The kill path releases via cancel(), not release(), which
+        # the static leak check cannot model.
+        grant = self.acquire(units)        # repro: noqa[PY012]
         try:
+            yield grant
             yield hold_time
         finally:
-            self.release(units)
+            if grant.triggered:
+                self.release(units)
+            else:
+                self.cancel(grant)
+
+    #: Pearl-DSL spelling of :meth:`use`.
+    using = use
 
     @property
     def in_use(self) -> int:

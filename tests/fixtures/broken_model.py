@@ -1,0 +1,76 @@
+"""Deliberately broken pearl model: the ``repro lint`` golden fixture.
+
+Every lint rule family fires at least once here — determinism hazards
+(PY001/PY002/PY003), pearl-API misuse (PY010/PY011/PY012/PY013) and
+process hygiene (PY020/PY021) — plus one suppressed finding to pin the
+``# repro: noqa[...]`` behavior.  The code never runs (nothing imports
+it at runtime); it only needs to parse and to keep ruff's pyflakes
+rules quiet, hence the pro-forma uses of every binding.
+"""
+
+import random
+import time
+
+import numpy as np
+
+
+def jittery_driver(sim, chan):
+    """PY001 (unseeded + global-state RNG), PY002, and one noqa."""
+    rng = np.random.default_rng()                # PY001: no seed
+    jitter = random.random()                     # PY001: global state
+    t_host = time.time()                         # PY002: wall clock
+    t_ok = time.time()  # repro: noqa[PY002]
+    yield chan.send((rng.integers(8), jitter, t_host, t_ok))
+
+
+def set_fanout(sim, links):
+    """PY003: set iteration order decides event emission order."""
+    for peer in {1, 2, 3}:                       # PY003
+        yield links.send(peer)
+
+
+def confused_worker(sim, res, chan):
+    """PY010, PY011 and PY013 in one process body."""
+    yield "warmup"                               # PY010: yields a str
+    chan.send(41)                                # PY011: event discarded
+    yield -2.5                                   # PY013: negative hold
+    yield from res.use(-1.0)                     # PY013: negative hold
+    yield chan.receive()
+
+
+def leaky_worker(sim, res):
+    """PY012: the early-return path skips ``res.release()``."""
+    grant = res.acquire()                        # PY012
+    yield grant
+    if sim.now > 100:
+        return                                   # leaks the grant
+    yield 5.0
+    res.release()
+
+
+def impatient_waiter(sim, res):
+    """PY021: the second yield re-waits on a completed event."""
+    ready = res.acquire()
+    yield ready
+    yield 1.0
+    yield ready                                  # PY021: already consumed
+    res.release()
+
+
+def silent_reporter(sim, chan):
+    """PY020: registered fire-and-forget below, result unobservable."""
+    total = 0
+    while sim.now < 10:
+        msg = yield chan.receive()
+        total += msg
+    return total                                 # PY020
+
+
+def build(sim, res, chan, links):
+    """Register the broken processes (drives process classification)."""
+    sim.process(jittery_driver(sim, chan))
+    sim.process(set_fanout(sim, links))
+    sim.process(confused_worker(sim, res, chan))
+    sim.process(leaky_worker(sim, res))
+    sim.process(impatient_waiter(sim, res))
+    sim.process(silent_reporter(sim, chan))      # handle discarded: PY020

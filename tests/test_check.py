@@ -112,9 +112,10 @@ class TestDiagnostics:
         assert [d.rule for d in r.by_rule("TR")] == ["TR001"]
 
     def test_every_emittable_rule_is_documented(self):
-        from repro.check import (DESCRIPTION_PASSES, MACHINE_PASSES,
-                                 TRACE_PASSES)
-        for p in (*TRACE_PASSES, *MACHINE_PASSES, *DESCRIPTION_PASSES):
+        from repro.check import (DESCRIPTION_PASSES, LINT_PASSES,
+                                 MACHINE_PASSES, TRACE_PASSES)
+        for p in (*TRACE_PASSES, *MACHINE_PASSES, *DESCRIPTION_PASSES,
+                  *LINT_PASSES):
             for rule in p.rules:
                 assert rule in RULES, f"{p.name} emits undocumented {rule}"
 

@@ -166,3 +166,120 @@ class TestAccounting:
         assert res.acquisitions == 3
         assert res.max_queue_len == 2
         assert res.total_wait_time == pytest.approx(4.0 + 8.0)
+
+
+class TestKillSafety:
+    """``use()``/``using()`` must never leak capacity when the holder
+    is ``kill()``ed — mid-hold or while still queued for the grant."""
+
+    def test_kill_mid_hold_releases_capacity(self, sim):
+        res = Resource(sim, capacity=1, name="bus")
+        log = []
+
+        def victim():
+            yield from res.use(100.0)
+
+        def successor():
+            yield 10.0
+            yield res.acquire()
+            log.append(("got", sim.now))
+            res.release()
+
+        proc = sim.process(victim())
+        sim.process(successor())
+
+        def killer():
+            yield 5.0
+            proc.kill()
+
+        sim.process(killer())
+        sim.run()
+        assert res.in_use == 0
+        # The successor gets the capacity the victim abandoned.
+        assert log == [("got", 10.0)]
+
+    def test_kill_while_queued_cancels_request(self, sim):
+        res = Resource(sim, capacity=1, name="bus")
+        log = []
+
+        def holder():
+            yield from res.use(20.0)
+            log.append(("holder-done", sim.now))
+
+        def queued_victim():
+            yield 1.0
+            yield from res.use(50.0)        # never gets the grant
+
+        def late_user():
+            yield 2.0
+            yield from res.use(5.0)
+            log.append(("late-done", sim.now))
+
+        sim.process(holder())
+        victim = sim.process(queued_victim())
+        sim.process(late_user())
+
+        def killer():
+            yield 10.0
+            victim.kill()
+
+        sim.process(killer())
+        sim.run()
+        # The dead request must not absorb the grant at t=20: the late
+        # user acquires immediately when the holder releases.
+        assert log == [("holder-done", 20.0), ("late-done", 25.0)]
+        assert res.in_use == 0 and res.queue_length == 0
+
+    def test_cancel_unblocks_smaller_request_behind_head(self, sim):
+        res = Resource(sim, capacity=4, name="banked")
+        log = []
+
+        def holder():
+            yield res.acquire(3)
+            yield 10.0
+            res.release(3)
+
+        def big():
+            yield 1.0
+            # Needs more than the free unit: parks at the queue head.
+            yield from res.use(5.0, units=4)
+            log.append(("big", sim.now))
+
+        def small():
+            yield 2.0
+            yield res.acquire(1)
+            log.append(("small", sim.now))
+            res.release(1)
+
+        sim.process(holder())
+        big_proc = sim.process(big())
+        sim.process(small())
+
+        def killer():
+            yield 3.0
+            big_proc.kill()
+
+        sim.process(killer())
+        sim.run()
+        # Cancelling the blocking head request re-runs FIFO granting,
+        # so the small request proceeds at once (t=3), not at t=10.
+        assert log == [("small", 3.0)]
+        assert res.in_use == 0
+
+    def test_cancel_of_granted_event_is_refused(self, sim):
+        res = Resource(sim, capacity=1)
+        results = []
+
+        def user():
+            grant = res.acquire()
+            yield grant
+            results.append(res.cancel(grant))   # already granted: False
+            res.release()
+
+        sim.process(user())
+        sim.run()
+        assert results == [False]
+        assert res.in_use == 0
+
+    def test_using_alias_is_use(self):
+        assert Resource.using is Resource.use
