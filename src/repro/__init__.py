@@ -33,6 +33,7 @@ Package map (see DESIGN.md for the full inventory):
 * :mod:`repro.analysis`   — slowdown, timelines, statistics, reports
 * :mod:`repro.core`       — configuration, Workbench facade, experiments
 * :mod:`repro.parallel`   — parallel sweep execution + result caching
+* :mod:`repro.faults`     — deterministic fault injection + reliable transport
 * :mod:`repro.check`      — static analyzer (``repro check``) + sanitizer
 * :mod:`repro.observe`    — event tracing (Chrome export) + metric registry
 """
@@ -59,6 +60,7 @@ from .check import (
     check_traces,
 )
 from .core.experiment import Sweep, vary_machine
+from .faults import DeliveryFailed, FaultPlan
 from .core.workbench import Workbench
 from .observe import MetricRegistry, Tracer
 from .parallel import ParallelSweepRunner, ResultCache
@@ -73,7 +75,8 @@ __version__ = "1.0.0"
 
 __all__ = [
     "BusConfig", "CPUConfig", "CacheConfig", "CacheLevelConfig",
-    "CheckError", "DeterminismSanitizer", "Diagnostic", "MachineConfig",
+    "CheckError", "DeliveryFailed", "DeterminismSanitizer", "Diagnostic",
+    "FaultPlan", "MachineConfig",
     "MemoryConfig", "MetricRegistry", "NetworkConfig", "NodeConfig",
     "ParallelSweepRunner", "Report", "ResultCache", "Severity", "Sweep",
     "TopologyConfig", "Tracer",

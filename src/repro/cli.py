@@ -213,19 +213,32 @@ def _cmd_stochastic(args: argparse.Namespace) -> int:
 
 
 def _sweep_point_runner(machine: MachineConfig, workload: Optional[str],
-                        rounds: int, seed: int) -> dict:
+                        rounds: int, seed: int, faults=None) -> dict:
     """Per-variant runner for ``repro sweep`` (module-level: picklable)."""
     from .tracegen import WORKLOAD_CLASSES
     desc = (WORKLOAD_CLASSES[workload]() if workload
             else StochasticAppDescription())
-    res = Workbench(machine).run_stochastic(desc, level="task",
-                                            rounds=rounds, seed=seed)
-    return {
+    res = Workbench(machine, faults=faults).run_stochastic(
+        desc, level="task", rounds=rounds, seed=seed)
+    row = {
         "total_cycles": res.total_cycles,
         "mean_latency": res.message_latency.mean,
         "time_ms": res.total_cycles / machine.node.cpu.clock_hz * 1e3,
         "events": res.events_executed,
     }
+    if res.fault_summary is not None:
+        row["dropped"] = res.fault_summary["dropped"]
+        row["retransmissions"] = res.retransmissions
+        row["delivery_failed"] = res.delivery_failures
+    return row
+
+
+def _load_faults(path: Optional[str]):
+    """Load ``--faults FILE`` into a normalized plan (None when absent)."""
+    if not path:
+        return None
+    from .faults import as_fault_plan
+    return as_fault_plan(path)
 
 
 def _sweep_progress(done: int, total: int, row: dict) -> None:
@@ -264,7 +277,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     rows = sweep.run(runner, workers=args.workers, cache=cache,
                      workload_id=workload_id,
                      progress=_sweep_progress if args.progress else None,
-                     timing=args.timing)
+                     timing=args.timing, faults=_load_faults(args.faults))
     print(format_table(
         rows, title=f"sweep of {args.preset} "
                     f"({len(rows)} variants, workers={args.workers}):"))
@@ -429,7 +442,7 @@ def _cmd_lint(args: argparse.Namespace) -> int:
 
 
 def _run_app_traced(app: str, preset: str, overrides: Sequence[str],
-                    ring: Optional[int] = None):
+                    ring: Optional[int] = None, faults=None):
     """Run a bundled app on a preset with a tracer attached.
 
     Returns ``(model, tracer, result)``; shared by the ``trace`` and
@@ -439,11 +452,21 @@ def _run_app_traced(app: str, preset: str, overrides: Sequence[str],
     from .observe import Tracer
 
     machine = build_machine(preset, overrides)
-    model = MultiNodeModel(machine)
+    model = MultiNodeModel(machine, faults=faults)
     tracer = Tracer(capacity=ring)
     model.sim.attach_tracer(tracer)
     traces = _app_traces()[app](model.n_nodes)
-    result = model.run(list(traces))
+    if faults is not None:
+        from .faults import DeliveryFailed
+        try:
+            result = model.run(list(traces))
+        except DeliveryFailed as err:
+            raise SystemExit(
+                f"fault plan defeated the transport: {err} "
+                f"(raise transport.max_retries/timeout_cycles or lower "
+                f"the drop probability)")
+    else:
+        result = model.run(list(traces))
     return model, tracer, result
 
 
@@ -460,7 +483,8 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 
     from .observe import validate_chrome_trace
     model, tracer, result = _run_app_traced(app, args.preset,
-                                            args.set or (), args.ring)
+                                            args.set or (), args.ring,
+                                            faults=_load_faults(args.faults))
     doc = tracer.export_chrome(args.out)
     counts = validate_chrome_trace(doc)
     print(f"traced {app} on {args.preset}: "
@@ -483,7 +507,8 @@ def _cmd_stats(args: argparse.Namespace) -> int:
             f"unknown app {args.app!r}; choose from: "
             + ", ".join(sorted(_app_traces())))
     model, _tracer, result = _run_app_traced(app, args.preset,
-                                             args.set or ())
+                                             args.set or (),
+                                             faults=_load_faults(args.faults))
     registry = model.registry
     if args.json:
         import json
@@ -559,6 +584,10 @@ def _parser() -> argparse.ArgumentParser:
                         "(nondeterministic; not cached)")
     p.add_argument("--progress", action="store_true",
                    help="print per-variant progress on stderr")
+    p.add_argument("--faults", default=None, metavar="PLAN.json",
+                   help="fault-injection plan applied to every variant "
+                        "(see repro.faults.FaultPlan; cache keys include "
+                        "the plan digest)")
 
     p = sub.add_parser(
         "check", help="static analysis of machine configs, traces and "
@@ -626,6 +655,9 @@ def _parser() -> argparse.ArgumentParser:
                    help="config override, e.g. network.switching=wormhole")
     p.add_argument("--ring", type=int, default=None, metavar="N",
                    help="ring-buffer mode: keep only the last N records")
+    p.add_argument("--faults", default=None, metavar="PLAN.json",
+                   help="fault-injection plan (drops/corruption/stalls "
+                        "show up as 'faults' instant records)")
     p.add_argument("--dump", type=int, default=None, metavar="N",
                    help="(.npz mode) also dump the first N ops of one node")
     p.add_argument("--dump-node", type=int, default=0)
@@ -639,6 +671,9 @@ def _parser() -> argparse.ArgumentParser:
                    default="t805-grid-2x2")
     p.add_argument("--set", action="append", metavar="PATH=VALUE",
                    help="config override, e.g. network.switching=wormhole")
+    p.add_argument("--faults", default=None, metavar="PLAN.json",
+                   help="fault-injection plan; adds faults.* metric "
+                        "sources to the snapshot")
     p.add_argument("--json", action="store_true",
                    help="machine-readable snapshot on stdout")
     return parser

@@ -45,6 +45,23 @@ class Link:
         self.bytes_moved += nbytes
         self.busy_cycles += busy
 
+    def cross_faults(self, injector, pkt):
+        """Consult the fault injector for one packet crossing this link.
+
+        Generator (``yield from`` inside a switching-engine transfer
+        process): waits out any down window first — the wire is dead,
+        the packet is not — then draws the drop/corrupt verdict for
+        this crossing.  Returns ``"ok"``, ``"drop"``, or ``"corrupt"``.
+        """
+        sim = self.sim
+        while True:
+            delay = injector.down_delay(self.src, self.dst, sim.now)
+            if delay <= 0.0:
+                break
+            injector.record_down_wait(self.src, self.dst, delay, pkt)
+            yield delay
+        return injector.crossing(self.src, self.dst, pkt)
+
     def utilization(self, horizon: float) -> float:
         """Busy fraction over ``horizon`` cycles."""
         return self.busy_cycles / horizon if horizon > 0 else 0.0

@@ -36,7 +36,7 @@ class Message:
 
     __slots__ = ("id", "src", "dst", "size", "synchronous", "payload",
                  "on_deliver", "t_inject", "t_deliver", "n_packets",
-                 "_packets_remaining")
+                 "_packets_remaining", "corrupted", "internal")
 
     def __init__(self, src: int, dst: int, size: int, synchronous: bool,
                  payload: object = None) -> None:
@@ -57,6 +57,12 @@ class Message:
         self.t_deliver: Optional[float] = None
         self.n_packets = 0
         self._packets_remaining = 0
+        # Fault-injection state: `corrupted` is set when any packet is
+        # corrupted in flight (the reliable transport discards such a
+        # copy); `internal` marks a transport-layer attempt copy so the
+        # model keeps it out of application-level metrics.
+        self.corrupted = False
+        self.internal = False
 
     @property
     def delivered(self) -> bool:

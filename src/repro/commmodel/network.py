@@ -67,7 +67,8 @@ class CommResult:
     def __init__(self, machine: MachineConfig, total_cycles: float,
                  activity: list[NodeActivity], message_latency: TallyMonitor,
                  engine_summary: dict, link_utilization: dict,
-                 events_executed: int = 0) -> None:
+                 events_executed: int = 0,
+                 fault_summary: Optional[dict] = None) -> None:
         self.machine = machine
         self.total_cycles = total_cycles
         self.activity = activity
@@ -75,6 +76,10 @@ class CommResult:
         self.engine_summary = engine_summary
         self.link_utilization = link_utilization
         self.events_executed = events_executed
+        #: fault-injection counters (``None`` for fault-free runs): the
+        #: injector's summary plus, under ``"transport"``, the reliable
+        #: transport's retry/delivery counters.
+        self.fault_summary = fault_summary
 
     @property
     def seconds(self) -> float:
@@ -84,6 +89,22 @@ class CommResult:
     def messages_delivered(self) -> int:
         return self.engine_summary["messages_delivered"]
 
+    @property
+    def retransmissions(self) -> int:
+        """Reliable-transport retransmissions (0 for fault-free runs)."""
+        if self.fault_summary is None:
+            return 0
+        return self.fault_summary.get("transport", {}).get(
+            "retransmissions", 0)
+
+    @property
+    def delivery_failures(self) -> int:
+        """Messages abandoned by the transport (0 for fault-free runs)."""
+        if self.fault_summary is None:
+            return 0
+        return self.fault_summary.get("transport", {}).get(
+            "delivery_failed", 0)
+
     def parallel_efficiency(self) -> float:
         """Mean node busy (compute) fraction — the load-balance view."""
         if self.total_cycles <= 0 or not self.activity:
@@ -92,7 +113,7 @@ class CommResult:
                 / (self.total_cycles * len(self.activity)))
 
     def summary(self) -> dict:
-        return {
+        out = {
             "machine": self.machine.name,
             "total_cycles": self.total_cycles,
             "seconds": self.seconds,
@@ -101,6 +122,11 @@ class CommResult:
             "engine": self.engine_summary,
             "nodes": [a.summary() for a in self.activity],
         }
+        # Only faulted runs carry the key, keeping fault-free summaries
+        # (and their golden snapshots) byte-identical to seed.
+        if self.fault_summary is not None:
+            out["faults"] = self.fault_summary
+        return out
 
     def __repr__(self) -> str:
         return (f"<CommResult cycles={self.total_cycles:.0f} "
@@ -119,18 +145,41 @@ class MultiNodeModel:
 
     def __init__(self, machine: MachineConfig,
                  sim: Optional[Simulator] = None,
-                 registry: Optional[MetricRegistry] = None) -> None:
+                 registry: Optional[MetricRegistry] = None,
+                 faults=None) -> None:
         machine.validate()
         self.machine = machine
         self.sim = sim if sim is not None else Simulator()
         self.topology = build_topology(machine.network.topology)
         self.routing = make_routing(machine.network.routing, self.topology)
+        # Fault injection (repro.faults): an empty/absent plan builds
+        # nothing at all, so the fault-free path is the seed path.
+        # Imported lazily to keep the commmodel <-> faults import DAG
+        # acyclic and the fault-free import graph unchanged.
+        self.fault_plan = None
+        self.injector = None
+        self.transport = None
+        if faults is not None:
+            from ..faults import FaultInjector, as_fault_plan
+            self.fault_plan = as_fault_plan(faults)
+            if self.fault_plan is not None:
+                self.injector = FaultInjector(self.fault_plan,
+                                              self.topology, self.sim)
         self.engine = make_switching(self.sim, machine.network,
                                      self.topology, self.routing,
-                                     self._on_delivery)
+                                     self._on_delivery,
+                                     injector=self.injector)
+        if self.injector is not None and self.fault_plan.transport.enabled:
+            from ..faults import ReliableTransport
+            self.transport = ReliableTransport(
+                self.sim, self.engine, self.injector, self.fault_plan,
+                self.topology, self._deliver_app, self._fail_delivery)
+        inject = (self.transport.inject if self.transport is not None
+                  else self.engine.inject)
         # Only endpoints (compute nodes) get NICs and drivers; switch
         # nodes of multistage interconnects are routing-only.
-        self.nics = [NIC(self.sim, i, machine.network, self.engine.inject)
+        self.nics = [NIC(self.sim, i, machine.network, inject,
+                         injector=self.injector)
                      for i in range(self.topology.n_endpoints)]
         self.message_latency = TallyMonitor("message_latency")
         self.activity = [NodeActivity(i)
@@ -139,6 +188,11 @@ class MultiNodeModel:
         self.registry.register("network.message_latency",
                                self.message_latency)
         self.engine.register_metrics(self.registry)
+        if self.injector is not None:
+            self.registry.register("faults", self.injector.summary)
+            if self.transport is not None:
+                self.registry.register("faults.transport",
+                                       self.transport.summary)
         for nic in self.nics:
             self.registry.register(f"node{nic.node_id}.nic",
                                    nic.stats.summary)
@@ -152,6 +206,13 @@ class MultiNodeModel:
     # -- delivery plumbing ---------------------------------------------------
 
     def _on_delivery(self, msg: Message) -> None:
+        """Switching-engine callback: one *physical* message arrived."""
+        if msg.internal:
+            # A reliable-transport attempt copy: the transport's sender
+            # process owns completion (ack) via the on_deliver hook;
+            # attempt copies stay out of application-level metrics.
+            msg.on_deliver(msg)
+            return
         self.message_latency.record(msg.latency)
         tracer = self.sim.tracer
         if tracer is not None:
@@ -167,6 +228,30 @@ class MultiNodeModel:
         self.nics[msg.dst].arrival(msg)
         if msg.synchronous:
             self.nics[msg.src].sender_completion(msg)
+
+    def _deliver_app(self, msg: Message) -> None:
+        """Deliver one acknowledged *logical* message (reliable-transport
+        path); mirrors the application-facing half of
+        :meth:`_on_delivery` so both paths record the same metrics."""
+        self.message_latency.record(msg.latency)
+        tracer = self.sim.tracer
+        if tracer is not None:
+            tracer.instant("message", "deliver", self.sim.now,
+                           f"node{msg.dst}",
+                           {"src": msg.src, "dst": msg.dst,
+                            "bytes": msg.size, "latency": msg.latency})
+        if msg.on_deliver is not None:
+            msg.on_deliver(msg)
+            return
+        self.nics[msg.dst].arrival(msg)
+        if msg.synchronous:
+            self.nics[msg.src].sender_completion(msg)
+
+    def _fail_delivery(self, msg: Message, err: Exception) -> None:
+        """Reliable-transport failure path: surface ``err`` to a blocked
+        synchronous sender; asynchronous failures are counter-only."""
+        if msg.synchronous:
+            self.nics[msg.src].sender_failure(msg, err)
 
     # -- node driver -------------------------------------------------------------
 
@@ -193,6 +278,10 @@ class MultiNodeModel:
         act = self.activity[node_id]
         cfg = self.machine.network
         sim = self.sim
+        if self.injector is not None:
+            # Node pauses gate the whole operation stream; hooking here
+            # covers the plain, hybrid, and VSM drivers alike.
+            yield from self.injector.pause(node_id)
         act.ops_processed += 1
         if isinstance(op, RecvAnyEvent):
             t0 = sim.now
@@ -255,6 +344,10 @@ class MultiNodeModel:
         for node_id, ops in enumerate(per_node_ops):
             self.sim.process(self.node_driver(node_id, iter(ops)),
                              name=f"node{node_id}")
+        if self.transport is not None:
+            from ..faults.transport import DeliveryFailed
+        else:
+            DeliveryFailed = ()      # matches nothing in the except below
         try:
             self.sim.run(until=until, check_deadlock=True)
         except DeadlockError as err:
@@ -262,6 +355,11 @@ class MultiNodeModel:
                 err.blocked,
                 diagnostics=self._deadlock_diagnostics(err.blocked),
             ) from None
+        except DeliveryFailed as err:
+            # Surface the partial result so callers can inspect how far
+            # the machine got before the message was abandoned.
+            err.result = self.result()
+            raise
         return self.result()
 
     def _deadlock_diagnostics(self, blocked: Sequence[str]) -> list:
@@ -304,10 +402,16 @@ class MultiNodeModel:
         return out
 
     def result(self) -> CommResult:
+        fault_summary = None
+        if self.injector is not None:
+            fault_summary = self.injector.summary()
+            if self.transport is not None:
+                fault_summary["transport"] = self.transport.summary()
         return CommResult(
             self.machine, self.sim.now, self.activity, self.message_latency,
             self.engine.summary(), self.engine.link_utilizations(),
-            events_executed=self.sim.events_executed)
+            events_executed=self.sim.events_executed,
+            fault_summary=fault_summary)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (f"<MultiNodeModel {self.machine.name!r} "

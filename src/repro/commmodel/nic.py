@@ -96,14 +96,18 @@ class NIC:
     """
 
     __slots__ = ("sim", "node_id", "cfg", "inject", "stats", "_arrivals",
-                 "_waiting", "_preposted", "_sync_events")
+                 "_waiting", "_preposted", "_sync_events", "_injector")
 
     def __init__(self, sim: Simulator, node_id: int, cfg: NetworkConfig,
-                 inject: Callable[[Message], None]) -> None:
+                 inject: Callable[[Message], None],
+                 injector=None) -> None:
         self.sim = sim
         self.node_id = node_id
         self.cfg = cfg
         self.inject = inject
+        # Optional repro.faults.FaultInjector: the send path waits out
+        # this node's NIC-stall windows before injecting.
+        self._injector = injector
         self.stats = NICStats()
         self._arrivals: dict[int, deque[Message]] = {}
         # FIFO of (event, source-filter) — a filter is a frozenset of
@@ -146,6 +150,17 @@ class NIC:
         if ev is not None:
             ev.trigger(msg)
 
+    def sender_failure(self, msg: Message, err: Exception) -> None:
+        """Unblock a synchronous sender with a delivery failure.
+
+        The reliable transport calls this when ``msg`` exhausted its
+        retry budget; the blocked :meth:`send` re-raises ``err`` in the
+        sending process.
+        """
+        ev = self._sync_events.pop(msg.id, None)
+        if ev is not None:
+            ev.trigger(err)
+
     # -- Table-1 operations (generators; ``yield from`` in a process) ------
 
     def send(self, dest: int, size: int, payload: object = None):
@@ -156,11 +171,15 @@ class NIC:
         self.stats.bytes_sent += size
         if self.cfg.send_overhead:
             yield self.cfg.send_overhead
+        if self._injector is not None:
+            yield from self._injector.stall(self.node_id)
         done = Event(self.sim, f"send{msg.id}.done")
         self._sync_events[msg.id] = done
         t0 = self.sim.now
         self.inject(msg)
-        yield done
+        completed = yield done
+        if isinstance(completed, Exception):
+            raise completed
         self.stats.send_wait.record(self.sim.now - t0)
         return msg
 
@@ -172,6 +191,8 @@ class NIC:
         self.stats.bytes_sent += size
         if self.cfg.send_overhead:
             yield self.cfg.send_overhead
+        if self._injector is not None:
+            yield from self._injector.stall(self.node_id)
         self.inject(msg)
         return msg
 

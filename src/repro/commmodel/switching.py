@@ -43,12 +43,16 @@ class SwitchingEngine:
     n_vcs = 1
 
     def __init__(self, sim: Simulator, cfg: NetworkConfig, topo: Topology,
-                 routing: RoutingFunction, deliver: DeliverFn) -> None:
+                 routing: RoutingFunction, deliver: DeliverFn,
+                 injector=None) -> None:
         self.sim = sim
         self.cfg = cfg
         self.topo = topo
         self.routing = routing
         self.deliver = deliver
+        # Optional repro.faults.FaultInjector; every transfer process
+        # consults it per link crossing when set (None = seed path).
+        self.injector = injector
         self.links: dict[tuple[int, int], Link] = {
             (u, v): Link(sim, u, v, cfg, self.n_vcs,
                          bandwidth_scale=topo.link_capacity(u, v))
@@ -60,8 +64,14 @@ class SwitchingEngine:
 
     # -- public API -------------------------------------------------------
 
-    def inject(self, message: Message) -> None:
-        """Packetize ``message`` and launch one transfer process per packet."""
+    def inject(self, message: Message,
+               path: Optional[list[int]] = None) -> None:
+        """Packetize ``message`` and launch one transfer process per packet.
+
+        ``path`` overrides the routing function for every packet — the
+        reliable transport's degraded-routing fallback steers retries
+        around suspect links with it.
+        """
         message.t_inject = self.sim.now
         self.messages_injected += 1
         if message.src == message.dst:
@@ -72,9 +82,10 @@ class SwitchingEngine:
         for pkt in packets:
             # Per-packet path: deterministic routers return the cached
             # path, adaptive (random-minimal) routers sample a fresh one.
-            path = self.routing.path(message.src, message.dst)
+            pkt_path = path if path is not None \
+                else self.routing.path(message.src, message.dst)
             self.sim.process(
-                self._packet_process(pkt, path),
+                self._packet_process(pkt, pkt_path),
                 name=f"pkt{message.id}.{pkt.index}")
 
     # -- per-strategy transfer process --------------------------------------
@@ -138,8 +149,13 @@ class StoreAndForward(SwitchingEngine):
         t0 = self.sim.now
         self.packet_hops.record(len(path) - 1)
         routing_cycles = self.cfg.routing_cycles
+        injector = self.injector
         for i in range(len(path) - 1):
             link = self.links[(path[i], path[i + 1])]
+            if injector is not None:
+                verdict = yield from link.cross_faults(injector, pkt)
+                if verdict == "drop":
+                    return
             if routing_cycles:
                 yield routing_cycles
             vc = link.vcs[0]
@@ -161,8 +177,13 @@ class VirtualCutThrough(SwitchingEngine):
         self.packet_hops.record(len(path) - 1)
         cfg = self.cfg
         body_bytes = max(pkt.total_bytes - cfg.header_bytes, 0)
+        injector = self.injector
         for i in range(len(path) - 1):
             link = self.links[(path[i], path[i + 1])]
+            if injector is not None:
+                verdict = yield from link.cross_faults(injector, pkt)
+                if verdict == "drop":
+                    return
             if cfg.routing_cycles:
                 yield cfg.routing_cycles
             vc = link.vcs[0]
@@ -206,11 +227,18 @@ class Wormhole(SwitchingEngine):
         held = []
         vc_index = 0
         last_link = None
+        injector = self.injector
         try:
             for i in range(len(path) - 1):
                 u, v = path[i], path[i + 1]
                 link = self.links[(u, v)]
                 last_link = link
+                if injector is not None:
+                    # A dropped worm releases its partial path through
+                    # the finally below (tail never advances).
+                    verdict = yield from link.cross_faults(injector, pkt)
+                    if verdict == "drop":
+                        return
                 if cfg.routing_cycles:
                     yield cfg.routing_cycles
                 vc = link.vcs[vc_index]
@@ -244,8 +272,8 @@ class Wormhole(SwitchingEngine):
 
 
 def make_switching(sim: Simulator, cfg: NetworkConfig, topo: Topology,
-                   routing: RoutingFunction,
-                   deliver: DeliverFn) -> SwitchingEngine:
+                   routing: RoutingFunction, deliver: DeliverFn,
+                   injector=None) -> SwitchingEngine:
     """Build the engine named by ``NetworkConfig.switching``."""
     engines = {
         "store_and_forward": StoreAndForward,
@@ -257,4 +285,4 @@ def make_switching(sim: Simulator, cfg: NetworkConfig, topo: Topology,
     except KeyError:
         raise ConfigError(f"unknown switching strategy {cfg.switching!r}") \
             from None
-    return engine_cls(sim, cfg, topo, routing, deliver)
+    return engine_cls(sim, cfg, topo, routing, deliver, injector)

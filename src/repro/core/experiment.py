@@ -86,7 +86,8 @@ class Sweep:
     def run(self, runner: Runner, *, workers: int | None = None,
             cache: Any = None, workload_id: str | None = None,
             on_error: str = "capture", preflight: bool = True,
-            progress: Any = None, timing: bool = False) -> list[dict]:
+            progress: Any = None, timing: bool = False,
+            faults: Any = None) -> list[dict]:
         """Run ``runner(machine) -> metrics`` at every point.
 
         Returns one row per point: sweep coordinates merged with the
@@ -126,9 +127,39 @@ class Sweep:
             add a nondeterministic ``wall_time_s`` column to executed
             rows (opt-in; see
             :meth:`repro.parallel.ParallelSweepRunner.run`).
+        ``faults``
+            a :class:`repro.faults.FaultPlan` (or plan dict / path to a
+            plan JSON file) applied to every variant, **or a sequence
+            of plans** — fault severity then becomes the outermost
+            sweep axis: each plan runs the whole cross product and rows
+            gain a ``faults`` coordinate (the plan's name, or
+            ``planN``).  The runner must accept a ``faults=`` keyword
+            (forward it to ``Workbench``/``MultiNodeModel``); cache
+            keys incorporate the plan digest, so faulty rows never
+            collide with fault-free ones.  Empty plans are normalized
+            away and behave exactly like ``faults=None``.
         """
-        from ..parallel import (ParallelSweepRunner, ResultCache,
-                                SweepVariantError)
+        from ..parallel import (FaultedRunner, ParallelSweepRunner,
+                                ResultCache, SweepVariantError)
+        if faults is not None and isinstance(faults, (list, tuple)):
+            from ..faults import as_fault_plan
+            rows_all: list[dict] = []
+            for i, item in enumerate(faults):
+                plan = as_fault_plan(item)
+                label = plan.name if (plan is not None and plan.name) \
+                    else f"plan{i}"
+                sub = self.run(runner, workers=workers, cache=cache,
+                               workload_id=workload_id, on_error=on_error,
+                               preflight=preflight, progress=progress,
+                               timing=timing, faults=plan)
+                rows_all.extend({"faults": label, **row} for row in sub)
+            return rows_all
+        fault_plan = None
+        if faults is not None:
+            from ..faults import as_fault_plan
+            fault_plan = as_fault_plan(faults)
+            if fault_plan is not None:
+                runner = FaultedRunner(runner, fault_plan)
         if on_error not in ("capture", "raise"):
             raise ValueError(f"on_error must be 'capture' or 'raise', "
                              f"got {on_error!r}")
@@ -167,7 +198,8 @@ class Sweep:
         pool = ParallelSweepRunner(workers=workers or 1, cache=cache)
         ran = pool.run(runner, [pt for _, pt in good],
                        workload_id=workload_id, on_error=on_error,
-                       progress=pool_progress, timing=timing)
+                       progress=pool_progress, timing=timing,
+                       faults=fault_plan)
         for (idx, _), row in zip(good, ran):
             rows[idx] = row
         return rows  # type: ignore[return-value]

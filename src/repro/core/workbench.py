@@ -49,9 +49,14 @@ class Workbench:
     independent); the config object itself is never mutated.
     """
 
-    def __init__(self, machine: MachineConfig) -> None:
+    def __init__(self, machine: MachineConfig, faults=None) -> None:
         machine.validate()
         self.machine = machine
+        # Optional fault-injection plan (repro.faults): a FaultPlan,
+        # plan dict, or path to a plan JSON file.  Applied to every
+        # network-driven run_* mode; empty plans are normalized away by
+        # the model, so ``faults=FaultPlan()`` is identical to None.
+        self.faults = faults
 
     @property
     def n_nodes(self) -> int:
@@ -69,7 +74,7 @@ class Workbench:
         if callable(application) and not isinstance(application,
                                                     ThreadedApplication):
             application = ThreadedApplication(application, self.n_nodes)
-        model = HybridModel(self.machine)
+        model = HybridModel(self.machine, faults=self.faults)
         return model.run_application(application)
 
     def run_mixed_traces(self, traces: Union[TraceSet, Sequence[Iterable[Operation]]],
@@ -77,7 +82,7 @@ class Workbench:
         """Hybrid simulation from pre-recorded mixed traces."""
         if validate and isinstance(traces, TraceSet):
             validate_trace_set(traces)
-        model = HybridModel(self.machine)
+        model = HybridModel(self.machine, faults=self.faults)
         return model.run_traces(traces)
 
     # -- fast prototyping (communication model only) ---------------------------
@@ -86,7 +91,7 @@ class Workbench:
                                                Sequence[Iterable[Operation]]]
                       ) -> CommResult:
         """Task-level simulation: "the communication model ... directly"."""
-        model = MultiNodeModel(self.machine)
+        model = MultiNodeModel(self.machine, faults=self.faults)
         return model.run(list(task_traces))
 
     def run_stochastic(self, desc: StochasticAppDescription,

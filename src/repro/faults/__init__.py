@@ -1,0 +1,36 @@
+"""``repro.faults`` — deterministic fault injection for the comm model.
+
+The robustness direction of the workbench: a declarative, seeded
+:class:`FaultPlan` (link outages, packet drop/corruption, NIC stalls,
+node pauses), a :class:`FaultInjector` the links/NICs/node drivers
+consult at the model boundary (the kernel is untouched), and a
+:class:`ReliableTransport` retransmit layer so architectures can be
+evaluated on *surviving* faults, not just on fault-free latency.
+
+Entry points: ``MultiNodeModel(machine, faults=plan)``,
+``Workbench(machine, faults=plan)``, ``Sweep.run(runner, faults=...)``
+and ``repro sweep/trace/stats --faults plan.json``.
+"""
+
+from .injector import FaultInjector
+from .plan import (
+    DownWindow,
+    FaultPlan,
+    LinkFault,
+    NodeWindow,
+    TransportConfig,
+    as_fault_plan,
+)
+from .transport import DeliveryFailed, ReliableTransport
+
+__all__ = [
+    "DeliveryFailed",
+    "DownWindow",
+    "FaultInjector",
+    "FaultPlan",
+    "LinkFault",
+    "NodeWindow",
+    "ReliableTransport",
+    "TransportConfig",
+    "as_fault_plan",
+]

@@ -71,7 +71,7 @@ class HybridModel:
     """Replicated single-node models feeding one communication model."""
 
     def __init__(self, machine: MachineConfig,
-                 sim: Optional[Simulator] = None) -> None:
+                 sim: Optional[Simulator] = None, faults=None) -> None:
         machine.validate()
         if machine.node.n_cpus != 1:
             raise ValueError(
@@ -79,7 +79,7 @@ class HybridModel:
                 "clusters of shared-memory nodes use "
                 "repro.sharedmem.HybridArchitectureModel")
         self.machine = machine
-        self.network = MultiNodeModel(machine, sim)
+        self.network = MultiNodeModel(machine, sim, faults=faults)
         self.node_models = [
             SingleNodeModel(machine.node, node_id=i)
             for i in range(self.network.n_nodes)]

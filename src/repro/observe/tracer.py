@@ -189,6 +189,13 @@ class Tracer:
         """A task-level operation boundary in the hybrid model."""
         self._emit(TraceRecord(INSTANT, "task", label, ts, 0.0, tid, args))
 
+    def fault(self, ts: float, kind: str, tid: str,
+              args: Optional[dict] = None) -> None:
+        """A fault-injection event (``drop``, ``corrupt``, ``down_wait``,
+        ``nic_stall``, ``node_pause``, ``retransmit``,
+        ``fallback_route``, ``delivery_failed``) on track ``tid``."""
+        self._emit(TraceRecord(INSTANT, "faults", kind, ts, 0.0, tid, args))
+
     # -- Chrome trace_event export ----------------------------------------
 
     def to_chrome(self) -> dict:

@@ -23,6 +23,7 @@ from .cache import (
     sources_digest,
 )
 from .runner import (
+    FaultedRunner,
     ParallelSweepRunner,
     SweepVariantError,
     default_workload_id,
@@ -30,7 +31,7 @@ from .runner import (
 )
 
 __all__ = [
-    "CacheStats", "ParallelSweepRunner", "ResultCache", "SweepVariantError",
-    "code_version", "default_workload_id", "execute_variant", "result_key",
-    "sources_digest",
+    "CacheStats", "FaultedRunner", "ParallelSweepRunner", "ResultCache",
+    "SweepVariantError", "code_version", "default_workload_id",
+    "execute_variant", "result_key", "sources_digest",
 ]

@@ -68,14 +68,23 @@ def _canonical_json(obj: Any) -> str:
 
 
 def result_key(machine: MachineConfig, workload_id: str,
-               version: Optional[str] = None) -> str:
-    """Stable content hash of ``(machine, workload, code version)``."""
-    payload = _canonical_json({
+               version: Optional[str] = None, faults=None) -> str:
+    """Stable content hash of ``(machine, workload, code version)``.
+
+    ``faults`` — a normalized :class:`repro.faults.FaultPlan` (or
+    ``None``) — extends the key with the plan's behaviour digest.  The
+    key without a plan is unchanged from earlier releases, so existing
+    fault-free caches stay valid; a *faulty* variant can never collide
+    with (and be served from) a fault-free row.
+    """
+    payload = {
         "machine": machine.to_dict(),
         "workload": workload_id,
         "code": version if version is not None else code_version(),
-    })
-    return hashlib.sha256(payload.encode()).hexdigest()
+    }
+    if faults is not None:
+        payload["faults"] = faults.digest()
+    return hashlib.sha256(_canonical_json(payload).encode()).hexdigest()
 
 
 @dataclass
@@ -111,8 +120,9 @@ class ResultCache:
     def _path(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.json"
 
-    def key_for(self, machine: MachineConfig, workload_id: str) -> str:
-        return result_key(machine, workload_id)
+    def key_for(self, machine: MachineConfig, workload_id: str,
+                faults=None) -> str:
+        return result_key(machine, workload_id, faults=faults)
 
     def get(self, key: str) -> Optional[dict]:
         """The cached metric row for ``key``, or ``None`` on a miss."""

@@ -34,8 +34,9 @@ from typing import Any, Callable, Optional, Sequence
 from ..core.config import MachineConfig
 from .cache import ResultCache
 
-__all__ = ["ParallelSweepRunner", "SweepVariantError", "default_workload_id",
-           "execute_variant", "execute_variant_timed"]
+__all__ = ["FaultedRunner", "ParallelSweepRunner", "SweepVariantError",
+           "default_workload_id", "execute_variant",
+           "execute_variant_timed"]
 
 Runner = Callable[[MachineConfig], dict]
 #: one sweep point: (coordinates, machine variant)
@@ -58,6 +59,27 @@ def default_workload_id(runner: Runner) -> str:
     module = getattr(func, "__module__", "?")
     name = getattr(func, "__qualname__", repr(func))
     return f"{module}.{name}"
+
+
+class FaultedRunner:
+    """Picklable wrapper binding a fault plan to a sweep runner.
+
+    Calls ``func(machine, faults=plan)`` — the wrapped runner must
+    accept a ``faults`` keyword (pass it to ``Workbench``/
+    ``MultiNodeModel``).  Exposes ``func`` so
+    :func:`default_workload_id` unwraps to the inner runner's name;
+    the plan itself reaches the cache key separately, as a digest.
+    """
+
+    def __init__(self, func: Callable, plan) -> None:
+        self.func = func
+        self.plan = plan
+
+    def __call__(self, machine: MachineConfig) -> dict:
+        return self.func(machine, faults=self.plan)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<FaultedRunner {self.func!r} plan={self.plan!r}>"
 
 
 def execute_variant(runner: Runner, machine: MachineConfig
@@ -128,7 +150,7 @@ class ParallelSweepRunner:
             workload_id: Optional[str] = None,
             on_error: str = "capture",
             progress: Optional[ProgressFn] = None,
-            timing: bool = False) -> list[dict]:
+            timing: bool = False, faults=None) -> list[dict]:
         """One metric row per point, in point order.
 
         ``progress(done, total, row)`` is called once per resolved row —
@@ -149,7 +171,10 @@ class ParallelSweepRunner:
         for idx, (coords, machine) in enumerate(points):
             key = ""
             if self.cache is not None:
-                key = self.cache.key_for(machine, wid)
+                # `faults` (a normalized FaultPlan or None) extends the
+                # key with the plan digest, so faulty and fault-free
+                # rows of the same variant never collide.
+                key = self.cache.key_for(machine, wid, faults=faults)
                 cached = self.cache.get(key)
                 if cached is not None:
                     row = {**coords, **cached}

@@ -28,7 +28,7 @@ from .introspect import (
     RELEASE_METHODS,
     SELF_CONTAINED_HOLD_METHODS,
 )
-from .kernel import Event, Process, Simulator
+from .kernel import Event, Process, Simulator, Timer
 from .monitor import TallyMonitor, TimeWeightedMonitor
 from .resource import Resource
 
@@ -50,4 +50,5 @@ __all__ = [
     "Simulator",
     "TallyMonitor",
     "TimeWeightedMonitor",
+    "Timer",
 ]

@@ -34,7 +34,7 @@ from .errors import (
     SimulationError,
 )
 
-__all__ = ["Event", "Process", "Simulator"]
+__all__ = ["Event", "Process", "Simulator", "Timer"]
 
 
 class Event:
@@ -80,6 +80,55 @@ class Event:
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         state = "triggered" if self.triggered else "pending"
         return f"<Event {self.name!r} {state}>"
+
+
+class Timer:
+    """A cancellable one-shot timer (see :meth:`Simulator.timer`).
+
+    :meth:`Simulator.timeout` events cannot be revoked: once scheduled
+    they fire, and a "timeout that no longer matters" would still drag
+    the clock (and ``sim.now``-derived results) out to its expiry.
+    Protocol models with retransmit timers need to *disarm* — cancel
+    removes the pending trigger from the event heap entirely, with the
+    same ``_dropped`` accounting as :meth:`Process.kill` so
+    :attr:`Simulator.events_executed` stays exact.
+    """
+
+    __slots__ = ("sim", "event", "_cb", "_fired", "_cancelled")
+
+    def __init__(self, sim: "Simulator", event: Event) -> None:
+        self.sim = sim
+        self.event = event
+        self._cb = self._fire          # one stable bound-method object
+        self._fired = False
+        self._cancelled = False
+
+    def _fire(self, value: Any) -> None:
+        self._fired = True
+        self.event.trigger(value)
+
+    @property
+    def active(self) -> bool:
+        """True while the timer is armed (not fired, not cancelled)."""
+        return not (self._fired or self._cancelled)
+
+    def cancel(self) -> bool:
+        """Disarm the timer; True if it had not already fired.
+
+        The pending heap entry is removed (O(n), like kill), so a
+        cancelled timer neither triggers its event nor advances the
+        simulation clock to its expiry time.
+        """
+        if self._fired or self._cancelled:
+            return False
+        self._cancelled = True
+        self.sim._drop_call(self._cb)
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = ("fired" if self._fired
+                 else "cancelled" if self._cancelled else "armed")
+        return f"<Timer {self.event.name!r} {state}>"
 
 
 class Process:
@@ -278,6 +327,21 @@ class Simulator:
         self._schedule_call(self.now + delay, ev.trigger, value)
         return ev
 
+    def timer(self, delay: float, value: Any = None,
+              name: str = "") -> Timer:
+        """A cancellable timer firing ``delay`` time units from now.
+
+        Like :meth:`timeout` but returns a :class:`Timer` whose
+        :meth:`Timer.cancel` removes the pending trigger from the event
+        heap — block on ``timer.event``, disarm with ``timer.cancel()``.
+        """
+        if delay < 0:
+            raise SimTimeError(f"negative timer delay {delay}")
+        ev = Event(self, name or f"timer({delay})")
+        t = Timer(self, ev)
+        self._schedule_call(self.now + delay, t._cb, value)
+        return t
+
     # -- scheduling internals ---------------------------------------------
 
     def _schedule(self, time: float, proc: Process, value: Any) -> None:
@@ -303,6 +367,16 @@ class Simulator:
         heap = self._heap
         before = len(heap)
         heap[:] = [entry for entry in heap if entry[2] is not proc]
+        heapq.heapify(heap)
+        self._dropped += before - len(heap)
+
+    def _drop_call(self, fn: Callable) -> None:
+        """Remove a scheduled bare callback (a cancelled :class:`Timer`)
+        from the event heap; same in-place/O(n) contract as
+        :meth:`_drop_scheduled`."""
+        heap = self._heap
+        before = len(heap)
+        heap[:] = [entry for entry in heap if entry[2] is not fn]
         heapq.heapify(heap)
         self._dropped += before - len(heap)
 

@@ -117,6 +117,36 @@ class Topology:
             frontier = nxt
         return dist
 
+    def shortest_path_avoiding(self, src: int, dst: int,
+                               avoid) -> Optional[list[int]]:
+        """BFS shortest path ``src -> dst`` using no directed link in
+        ``avoid`` (a set of ``(u, v)`` pairs); ``None`` when the pruned
+        graph disconnects the pair.  Neighbour order is ascending, so
+        the chosen path is deterministic — the degraded-routing
+        fallback of :mod:`repro.faults` depends on that.
+        """
+        if src == dst:
+            return [src]
+        avoid = frozenset(avoid)
+        prev: dict[int, int] = {src: -1}
+        frontier = [src]
+        while frontier:
+            nxt = []
+            for u in frontier:
+                for v in self._adj[u]:
+                    if v in prev or (u, v) in avoid:
+                        continue
+                    prev[v] = u
+                    if v == dst:
+                        path = [dst]
+                        while path[-1] != src:
+                            path.append(prev[path[-1]])
+                        path.reverse()
+                        return path
+                    nxt.append(v)
+            frontier = nxt
+        return None
+
     def diameter(self) -> int:
         """Longest shortest path over all pairs (graph diameter)."""
         best = 0

@@ -1,0 +1,86 @@
+"""Direct unit tests for :mod:`repro.commmodel.message`.
+
+The message/packet layer was previously covered only through the
+switching engines; the fault-injection work added per-message state
+(``corrupted``, ``internal``) that deserves first-class coverage.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.commmodel.message import Message, Packet, reset_message_ids
+
+
+class TestMessageIds:
+    def test_ids_are_sequential_and_resettable(self):
+        reset_message_ids()
+        a = Message(0, 1, 10, synchronous=True)
+        b = Message(1, 0, 10, synchronous=False)
+        assert (a.id, b.id) == (0, 1)
+        reset_message_ids()
+        assert Message(0, 1, 10, synchronous=True).id == 0
+
+
+class TestMessageState:
+    def test_initial_state(self):
+        msg = Message(2, 5, 64, synchronous=True, payload={"k": 1})
+        assert (msg.src, msg.dst, msg.size) == (2, 5, 64)
+        assert msg.synchronous
+        assert msg.payload == {"k": 1}
+        assert msg.on_deliver is None
+        assert not msg.delivered
+        # Fault-injection state starts clean on every message.
+        assert msg.corrupted is False
+        assert msg.internal is False
+
+    def test_latency_requires_delivery(self):
+        msg = Message(0, 1, 8, synchronous=False)
+        with pytest.raises(ValueError, match="not yet delivered"):
+            _ = msg.latency
+        msg.t_inject = 10.0
+        msg.t_deliver = 35.5
+        assert msg.delivered
+        assert msg.latency == 25.5
+
+
+class TestSplit:
+    def test_split_into_packets(self):
+        msg = Message(0, 1, 100, synchronous=False)
+        packets = msg.split(max_payload=32, header_bytes=4)
+        assert [p.payload_bytes for p in packets] == [32, 32, 32, 4]
+        assert [p.index for p in packets] == [0, 1, 2, 3]
+        assert all(p.header_bytes == 4 for p in packets)
+        assert all(p.total_bytes == p.payload_bytes + 4 for p in packets)
+        assert msg.n_packets == 4
+        # Packets delegate src/dst to their message.
+        assert all((p.src, p.dst) == (0, 1) for p in packets)
+
+    def test_zero_byte_message_sends_header_only_packet(self):
+        msg = Message(0, 1, 0, synchronous=True)
+        packets = msg.split(max_payload=32, header_bytes=6)
+        assert len(packets) == 1
+        assert packets[0].payload_bytes == 0
+        assert packets[0].total_bytes == 6
+
+    def test_exact_multiple_has_no_runt_packet(self):
+        msg = Message(0, 1, 64, synchronous=False)
+        assert [p.payload_bytes
+                for p in msg.split(32, 4)] == [32, 32]
+
+
+class TestPacketArrival:
+    def test_arrivals_complete_once(self):
+        msg = Message(0, 1, 64, synchronous=False)
+        msg.split(32, 4)
+        assert msg.packet_arrived() is False
+        assert msg.packet_arrived() is True
+        with pytest.raises(ValueError, match="too many packet arrivals"):
+            msg.packet_arrived()
+
+    def test_repr_mentions_direction_and_mode(self):
+        reset_message_ids()
+        msg = Message(3, 7, 128, synchronous=True)
+        assert "3->7" in repr(msg) and "sync" in repr(msg)
+        pkt = Packet(msg, 0, 16, 4)
+        assert "0.0" in repr(pkt) and "3->7" in repr(pkt)

@@ -529,3 +529,88 @@ class TestTraceHook:
         p = sim.process(proc(), name="traced")
         sim.run()
         assert all(t is p for t in targets)
+
+
+class TestTimer:
+    """Cancellable timers (the reliable transport's retransmit clock)."""
+
+    def test_timer_fires_with_value(self, sim):
+        log = []
+
+        def proc():
+            t = sim.timer(25.0, value="expired")
+            value = yield t.event
+            log.append((sim.now, value, t.active))
+
+        sim.process(proc())
+        sim.run()
+        assert log == [(25.0, "expired", False)]
+
+    def test_cancel_prevents_firing_and_clock_drag(self, sim):
+        timers = []
+
+        def proc():
+            t = sim.timer(1_000.0)
+            timers.append(t)
+            yield 5.0
+            assert t.cancel() is True
+            yield 5.0
+
+        sim.process(proc())
+        assert sim.run() == 10.0          # never dragged out to 1000
+        t = timers[0]
+        assert not t.active
+        assert not t.event.triggered
+
+    def test_cancel_returns_false_when_too_late(self, sim):
+        timers = []
+
+        def proc():
+            t = sim.timer(5.0)
+            timers.append(t)
+            yield t.event
+
+        sim.process(proc())
+        sim.run()
+        assert timers[0].cancel() is False    # already fired
+        # Cancelling twice is also a no-op.
+        t2 = sim.timer(5.0)
+        assert t2.cancel() is True
+        assert t2.cancel() is False
+
+    def test_cancelled_timer_keeps_event_accounting_exact(self, sim):
+        def proc():
+            t = sim.timer(100.0)
+            yield 1.0
+            t.cancel()
+
+        sim.process(proc())
+        sim.run()
+        # One process event executed per step; the cancelled trigger
+        # must not be counted as executed (same contract as kill()).
+        assert sim.events_executed == 2
+
+    def test_negative_delay_rejected(self, sim):
+        with pytest.raises(SimTimeError):
+            sim.timer(-1.0)
+
+    def test_race_timer_vs_event_any_of(self, sim):
+        """The transport's select: whichever fires first wins."""
+        from repro.pearl import Event
+        log = []
+
+        def winner(ev):
+            yield 3.0
+            ev.trigger("data")
+
+        def proc():
+            ev = Event(sim, "data")
+            sim.process(winner(ev))
+            t = sim.timer(50.0, value="timeout")
+            idx, value = yield sim.any_of([ev, t.event])
+            log.append((idx, value, sim.now))
+            t.cancel()
+
+        sim.process(proc())
+        assert sim.run() == 3.0
+        assert log == [(0, "data", 3.0)]

@@ -134,3 +134,24 @@ def test_dimension_order_valid_paths_property(rows, cols, data):
     dst = data.draw(st.integers(0, topo.n - 1))
     if src != dst:
         assert_valid_path(topo, r.path(src, dst), src, dst)
+
+
+class TestIrregularFallbackPaths:
+    """The dimension-order -> shortest-path fallback must route every
+    pair on irregular topologies (the ``repro.faults`` degraded-routing
+    machinery leans on the same BFS)."""
+
+    @pytest.mark.parametrize("topo", [star(5), tree(2, 2)])
+    def test_all_pairs_routable(self, topo):
+        routing = make_routing("dimension_order", topo)
+        for src in range(topo.n):
+            for dst in range(topo.n):
+                if src == dst:
+                    continue
+                assert_valid_path(topo, routing.path(src, dst), src, dst)
+
+    def test_fallback_paths_are_shortest(self):
+        topo = star(6)
+        routing = make_routing("dimension_order", topo)
+        # Leaf to leaf is always exactly two hops through the hub.
+        assert routing.path(1, 5) == [1, 0, 5]

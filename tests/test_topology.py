@@ -166,3 +166,39 @@ class TestBuildAndCount:
     @given(st.integers(2, 5), st.integers(2, 5))
     def test_mesh_diameter_formula(self, a, b):
         assert mesh(a, b).diameter() == (a - 1) + (b - 1)
+
+
+class TestShortestPathAvoiding:
+    """Degraded-routing support: BFS around an avoid-set of links."""
+
+    def test_plain_shortest_path_when_nothing_avoided(self):
+        t = mesh(2, 2)
+        assert t.shortest_path_avoiding(0, 3, set()) in ([0, 1, 3],
+                                                         [0, 2, 3])
+
+    def test_detour_around_directed_link(self):
+        t = mesh(2, 2)
+        path = t.shortest_path_avoiding(0, 1, {(0, 1)})
+        assert path == [0, 2, 3, 1]
+        # Only the 0->1 direction is avoided; the reverse is intact.
+        assert t.shortest_path_avoiding(1, 0, {(0, 1)}) == [1, 0]
+
+    def test_none_when_destination_is_cut_off(self):
+        t = star(4)                       # hub 0, leaves 1..3
+        assert t.shortest_path_avoiding(1, 2, {(0, 2)}) is None
+
+    def test_src_equals_dst(self):
+        assert mesh(2, 2).shortest_path_avoiding(2, 2, {(0, 1)}) == [2]
+
+    def test_deterministic_choice_prefers_low_neighbors(self):
+        # Both [0,1,3] and [0,2,3] are shortest on the 2x2 mesh; BFS in
+        # ascending neighbour order must always return the same one.
+        t = mesh(2, 2)
+        paths = {tuple(t.shortest_path_avoiding(0, 3, frozenset()))
+                 for _ in range(8)}
+        assert paths == {(0, 1, 3)}
+
+    def test_avoiding_everything_out_of_a_node(self):
+        t = ring(5)
+        avoid = {(0, 1), (0, 4)}
+        assert t.shortest_path_avoiding(0, 2, avoid) is None
