@@ -19,6 +19,7 @@ import numpy as np
 
 from ..core.config import NodeConfig
 from ..operations.ops import COMPUTATIONAL_OPS, Operation
+from ..pearl.kernel import kernel_mode
 from .cpu import CPU
 from .hierarchy import CacheHierarchy
 
@@ -90,7 +91,16 @@ class SingleNodeModel:
         Communication operations are rejected — split them out with
         :func:`repro.compmodel.tasks.extract_tasks` first (that *is* the
         hybrid model of Fig 2).
+
+        Under ``REPRO_KERNEL=fast`` (the default) the plain node
+        template runs the batched cost loop of
+        :mod:`repro.compmodel.batch`; results and statistics are
+        identical to the seed per-op loop.
         """
+        if kernel_mode() == "fast":
+            from .batch import fast_eligible, run_trace_fast
+            if fast_eligible(self):
+                return run_trace_fast(self, ops)
         cpu = self.cpu
         start_cycles = cpu.stats.cycles
         start_instr = cpu.stats.instructions

@@ -14,6 +14,15 @@ Two first-class instruments over a running simulation:
 
 Both are opt-in and zero-cost when detached (one ``None`` check per
 kernel operation, same as the PR-2 determinism sanitizer).
+
+Dispatcher independence (PR-6): both instruments observe identical
+records under the seed kernel and the fast ring dispatcher
+(``REPRO_KERNEL``), and a *detached* simulator takes each kernel's
+instrumentation-free bulk path — attaching a tracer never changes what
+a simulation computes, and not attaching one costs the fast path
+nothing.  ``tests/test_kernel_equivalence.py`` and the dispatcher
+parity suite in ``tests/test_pearl_kernel.py`` pin record-level
+equality across kernels.
 """
 
 from .registry import MetricRegistry

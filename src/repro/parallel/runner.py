@@ -32,6 +32,7 @@ from concurrent.futures import BrokenExecutor, Future, ProcessPoolExecutor
 from typing import Any, Callable, Optional, Sequence
 
 from ..core.config import MachineConfig
+from ..pearl.kernel import kernel_mode
 from .cache import ResultCache
 
 __all__ = ["FaultedRunner", "ParallelSweepRunner", "SweepVariantError",
@@ -114,6 +115,16 @@ def _execute_untimed(runner: Runner, machine: MachineConfig
     """Uniform (status, payload, wall) shape with wall pinned to 0.0."""
     status, payload = execute_variant(runner, machine)
     return status, payload, 0.0
+
+
+def _pin_kernel_mode(mode: str) -> None:
+    """Worker initializer: inherit the parent's kernel dispatcher.
+
+    Fork children share the parent's environment anyway; pinning it
+    explicitly keeps sweep rows identical under spawn-style pools and
+    when the parent mutates ``REPRO_KERNEL`` mid-run.
+    """
+    os.environ["REPRO_KERNEL"] = mode
 
 
 def _mp_context() -> Optional[multiprocessing.context.BaseContext]:
@@ -219,7 +230,9 @@ class ParallelSweepRunner:
             return [task(runner, m) for m in machines]
         try:
             with ProcessPoolExecutor(max_workers=n_workers,
-                                     mp_context=_mp_context()) as pool:
+                                     mp_context=_mp_context(),
+                                     initializer=_pin_kernel_mode,
+                                     initargs=(kernel_mode(),)) as pool:
                 futures: list[Future] = [
                     pool.submit(task, runner, m)
                     for m in machines]

@@ -28,7 +28,14 @@ from .introspect import (
     RELEASE_METHODS,
     SELF_CONTAINED_HOLD_METHODS,
 )
-from .kernel import Event, Process, Simulator, Timer
+from .kernel import (
+    Event,
+    FastSimulator,
+    Process,
+    Simulator,
+    Timer,
+    kernel_mode,
+)
 from .monitor import TallyMonitor, TimeWeightedMonitor
 from .resource import Resource
 
@@ -39,6 +46,7 @@ __all__ = [
     "DeadlockError",
     "EVENT_RETURNING_METHODS",
     "Event",
+    "FastSimulator",
     "PearlError",
     "Process",
     "ProcessKilledError",
@@ -51,4 +59,5 @@ __all__ = [
     "TallyMonitor",
     "TimeWeightedMonitor",
     "Timer",
+    "kernel_mode",
 ]

@@ -67,6 +67,13 @@ class AnnotationTranslator:
         self._next_code_addr = self.abi.code_base
         self._call_stack: list[int] = []
         self.ops_emitted = 0
+        # Operations are immutable value objects, so the recurring ops
+        # of a static site (its ifetch; a loadc/arith/back-edge with
+        # fixed operands) are built once and re-emitted by reference —
+        # loop bodies then cost no allocations beyond their variable
+        # memory accesses.
+        self._ifetch_cache: dict = {}    # site -> shared IFETCH op
+        self._pair_cache: dict = {}      # tagged key -> (ifetch, op)
 
     # -- the virtual program counter ------------------------------------
 
@@ -79,11 +86,19 @@ class AnnotationTranslator:
             self._site_addr[site] = addr
         return addr
 
+    def _site_ifetch(self, site) -> Operation:
+        """The shared IFETCH operation of a static site."""
+        op = self._ifetch_cache.get(site)
+        if op is None:
+            op = Operation(OpCode.IFETCH, 0, self._site_address(site))
+            self._ifetch_cache[site] = op
+        return op
+
     def _fetch(self, site) -> int:
-        addr = self._site_address(site)
-        self.emit(Operation(OpCode.IFETCH, 0, addr))
+        op = self._site_ifetch(site)
+        self.emit(op)
         self.ops_emitted += 1
-        return addr
+        return op.arg
 
     def _out(self, op: Operation) -> None:
         self.emit(op)
@@ -114,42 +129,83 @@ class AnnotationTranslator:
         """
         if var.in_register:
             return
-        self._fetch(site)
-        self._out(Operation(OpCode.LOAD, int(var.mem_type),
-                            var.element_address(index)))
+        op = self._ifetch_cache.get(site)
+        if op is None:
+            op = Operation(OpCode.IFETCH, 0, self._site_address(site))
+            self._ifetch_cache[site] = op
+        emit = self.emit
+        emit(op)
+        emit(Operation(OpCode.LOAD, int(var.mem_type),
+                       var.element_address(index)))
+        self.ops_emitted += 2
 
     def write(self, var: VarDescriptor, index: int = 0, *, site) -> None:
         """Assign to ``var[index]``: ifetch + store (memory variables)."""
         if var.in_register:
             return
-        self._fetch(site)
-        self._out(Operation(OpCode.STORE, int(var.mem_type),
-                            var.element_address(index)))
+        op = self._ifetch_cache.get(site)
+        if op is None:
+            op = Operation(OpCode.IFETCH, 0, self._site_address(site))
+            self._ifetch_cache[site] = op
+        emit = self.emit
+        emit(op)
+        emit(Operation(OpCode.STORE, int(var.mem_type),
+                       var.element_address(index)))
+        self.ops_emitted += 2
 
     def const(self, mem_type: MemType = MemType.INT32, *, site) -> None:
         """Load an immediate: ifetch + loadc."""
-        self._fetch(site)
-        self._out(Operation(OpCode.LOADC, int(mem_type)))
+        key = ("c", site, int(mem_type))
+        pair = self._pair_cache.get(key)
+        if pair is None:
+            pair = (self._site_ifetch(site),
+                    Operation(OpCode.LOADC, int(mem_type)))
+            self._pair_cache[key] = pair
+        emit = self.emit
+        emit(pair[0])
+        emit(pair[1])
+        self.ops_emitted += 2
 
     def arith(self, kind: str, arith_type: ArithType = ArithType.INT,
               count: int = 1, *, site) -> None:
         """``count`` arithmetic operations of ``kind`` at one site."""
-        try:
-            code = _ARITH_CODES[kind]
-        except KeyError:
-            raise ValueError(f"unknown arithmetic kind {kind!r}; expected "
-                             f"one of {sorted(_ARITH_CODES)}") from None
+        key = ("a", site, kind, int(arith_type))
+        pair = self._pair_cache.get(key)
+        if pair is None:
+            try:
+                code = _ARITH_CODES[kind]
+            except KeyError:
+                raise ValueError(f"unknown arithmetic kind {kind!r}; "
+                                 f"expected one of "
+                                 f"{sorted(_ARITH_CODES)}") from None
+            pair = (self._site_ifetch(site),
+                    Operation(code, int(arith_type)))
+            self._pair_cache[key] = pair
+        f, o = pair
+        emit = self.emit
         for _ in range(count):
-            self._fetch(site)
-            self._out(Operation(code, int(arith_type)))
+            emit(f)
+            emit(o)
+        self.ops_emitted += 2 * count
 
     def branch(self, *, site, target_site=None) -> None:
         """A taken branch.  ``target_site`` defaults to the branch's own
         site (a tight loop back-edge, the common case)."""
-        addr = self._fetch(site)
-        target = (self._site_address(target_site)
-                  if target_site is not None else addr)
-        self._out(Operation(OpCode.BRANCH, 0, target))
+        if target_site is None:
+            key = ("b", site)
+            pair = self._pair_cache.get(key)
+            if pair is None:
+                f = self._site_ifetch(site)
+                pair = (f, Operation(OpCode.BRANCH, 0, f.arg))
+                self._pair_cache[key] = pair
+            emit = self.emit
+            emit(pair[0])
+            emit(pair[1])
+            self.ops_emitted += 2
+            return
+        self._fetch(site)
+        self._out(Operation(OpCode.BRANCH, 0,
+                            self._site_address(target_site)))
 
     def call(self, *, site) -> int:
         """Procedure call: ifetch + call, new VDT scope.

@@ -211,6 +211,34 @@ class InterleavedStream:
             self._event_delivered = False
             thread.advance(value)
 
+    def chunks(self):
+        """Bulk-pull iterator: whole buffered stretches as sequences.
+
+        The thread is suspended whenever the simulator side runs, so
+        everything in the buffer already exists — draining it in one
+        go cannot run generation ahead of a global event.  Yields each
+        buffered stretch as a list, then the pending global event as a
+        one-element tuple, with exactly the resume/:meth:`post_result`
+        protocol of ``__next__``.  Consuming the flattened chunks is
+        equivalent to iterating the stream op by op.
+        """
+        thread = self.thread
+        buffer = thread.buffer
+        while True:
+            if buffer:
+                ops = list(buffer)
+                buffer.clear()
+                yield ops
+            elif thread.pending_op is not None and not self._event_delivered:
+                self._event_delivered = True
+                yield (thread.pending_op,)
+            elif thread.done:
+                return
+            else:
+                value, self._result = self._result, None
+                self._event_delivered = False
+                thread.advance(value)
+
     def close(self) -> None:
         self.thread.close()
 

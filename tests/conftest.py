@@ -18,9 +18,11 @@ from repro.core.config import (
 from repro.pearl import Simulator
 
 
-@pytest.fixture
-def sim() -> Simulator:
-    return Simulator()
+@pytest.fixture(params=["seed", "fast"], ids=["seed-kernel", "fast-kernel"])
+def sim(request) -> Simulator:
+    """A simulator under each dispatcher — every kernel-level test runs
+    against both the seed reference and the fast ring dispatcher."""
+    return Simulator(kernel=request.param)
 
 
 @pytest.fixture

@@ -531,6 +531,115 @@ class TestTraceHook:
         assert all(t is p for t in targets)
 
 
+class TestDispatcherParity:
+    """Seed and fast kernels execute identical schedules (PR-6).
+
+    The ``sim`` fixture already runs every test in this file under both
+    dispatchers; this class adds the *cross*-kernel assertions for the
+    scenarios that construct their own Simulator.
+    """
+
+    KERNELS = ("seed", "fast")
+
+    @staticmethod
+    def _mixed_workload(sim, log):
+        gate = sim.event("gate")
+
+        def worker(i):
+            yield i * 0.5
+            log.append(("held", sim.now, i))
+            yield 1.0
+            if i == 0:
+                gate.trigger("go")
+                log.append(("fired", sim.now, i))
+            else:
+                value = yield gate
+                log.append(("woke", sim.now, i, value))
+
+        for i in range(4):
+            sim.process(worker(i), name=f"w{i}")
+
+    def test_identical_schedules_across_kernels(self):
+        def run(kernel):
+            sim = Simulator(kernel=kernel)
+            log = []
+            self._mixed_workload(sim, log)
+            end = sim.run()
+            return log, end, sim.events_executed
+
+        seed, fast = run("seed"), run("fast")
+        assert seed == fast
+
+    @pytest.mark.parametrize("kernel", KERNELS)
+    def test_interleaved_step_run_identical_trace(self, kernel):
+        from repro.observe import Tracer
+
+        def trace(n_steps):
+            sim = Simulator(kernel=kernel)
+            tracer = Tracer()
+            sim.attach_tracer(tracer)
+            log = []
+            self._mixed_workload(sim, log)
+            for _ in range(n_steps):
+                assert sim.step()
+            sim.run()
+            return [(r.ph, r.cat, r.name, r.ts, r.dur, r.tid)
+                    for r in tracer.records]
+
+        pure_run = trace(0)
+        assert pure_run
+        for n_steps in (1, 3, 5):
+            assert trace(n_steps) == pure_run
+
+    def test_tracer_records_identical_across_kernels(self):
+        from repro.observe import Tracer
+
+        def records(kernel):
+            sim = Simulator(kernel=kernel)
+            tracer = Tracer()
+            sim.attach_tracer(tracer)
+            log = []
+            self._mixed_workload(sim, log)
+            sim.run()
+            return [(r.ph, r.cat, r.name, r.ts, r.dur, r.tid)
+                    for r in tracer.records]
+
+        seed = records("seed")
+        assert seed
+        assert seed == records("fast")
+
+    def test_trace_hook_parity(self):
+        def hook_times(kernel):
+            times = []
+            sim = Simulator(kernel=kernel,
+                            trace_hook=lambda t, target: times.append(t))
+            log = []
+            self._mixed_workload(sim, log)
+            sim.run()
+            return times
+
+        assert hook_times("seed") == hook_times("fast")
+
+    def test_env_selects_dispatcher(self, monkeypatch):
+        from repro.pearl import FastSimulator
+
+        monkeypatch.setenv("REPRO_KERNEL", "fast")
+        assert isinstance(Simulator(), FastSimulator)
+        monkeypatch.setenv("REPRO_KERNEL", "seed")
+        assert type(Simulator()) is Simulator
+        monkeypatch.setenv("REPRO_KERNEL", "bogus")
+        with pytest.raises(SimulationError, match="REPRO_KERNEL"):
+            Simulator()
+
+    def test_explicit_kernel_overrides_env(self, monkeypatch):
+        from repro.pearl import FastSimulator
+
+        monkeypatch.setenv("REPRO_KERNEL", "seed")
+        assert isinstance(Simulator(kernel="fast"), FastSimulator)
+        monkeypatch.setenv("REPRO_KERNEL", "fast")
+        assert type(Simulator(kernel="seed")) is Simulator
+
+
 class TestTimer:
     """Cancellable timers (the reliable transport's retransmit clock)."""
 
