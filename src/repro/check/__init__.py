@@ -39,7 +39,7 @@ from .lint import (
 )
 from .machine_passes import MACHINE_PASSES
 from .passes import CheckContext, CheckPass, PassManager
-from .sanitizer import DeterminismSanitizer
+from .sanitizer import ContentionCluster, DeterminismSanitizer
 from .trace_passes import TRACE_PASSES
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -49,7 +49,8 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 __all__ = [
     "Baseline", "CheckContext", "CheckError", "CheckPass",
-    "DESCRIPTION_PASSES", "Diagnostic", "DeterminismSanitizer",
+    "ContentionCluster", "DESCRIPTION_PASSES", "Diagnostic",
+    "DeterminismSanitizer",
     "FileLint", "LINT_PASSES", "LintCache", "MACHINE_PASSES",
     "PassManager", "RULES", "Report", "Severity", "TRACE_PASSES",
     "check_description", "check_machine", "check_traces", "ensure_ok",

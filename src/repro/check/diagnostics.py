@@ -13,6 +13,7 @@ Rule-id families
 ``MC``   machine-config passes (contract, topology, routing, parameters)
 ``AD``   application-description passes (mix, branch model, node count)
 ``KD``   kernel determinism sanitizer (tie-break sensitivity)
+``KV``   schedule-space verification verdicts (``repro verify``)
 ``RT``   runtime reports (simulation deadlock details)
 ``PY``   source lint of model/app Python code (``repro lint``)
 """
@@ -58,6 +59,10 @@ RULES: dict[str, str] = {
     "AD005": "communication pattern vs node count mismatch",
     "KD001": "same-time contention on a resource (tie-break sensitive)",
     "KD002": "same-time conflicting channel operations (tie-break sensitive)",
+    "KV001": "confirmed race: two schedules yield different final results",
+    "KV002": "contention cluster proven benign (all orderings agree)",
+    "KV003": "reachable deadlock under an alternative event ordering",
+    "KV004": "exploration budget exhausted (schedule frontier unexplored)",
     "RT001": "simulation deadlock: blocked process details",
     "PY000": "model source failed to parse (syntax error)",
     "PY001": "unseeded or global-state random number generator",

@@ -81,3 +81,16 @@ class Baseline:
         for diag in diagnostics:
             (known if diag in self else new).append(diag)
         return new, known
+
+    def stale(self, diagnostics: Iterable[Diagnostic]) -> dict[str, str]:
+        """Baseline entries no current finding matched.
+
+        A stale entry means the finding it suppressed was fixed (or its
+        rule retired), but the baseline still carries the suppression —
+        so the same issue could silently come back without gating CI.
+        Returns ``{fingerprint: context}``; refresh the file with
+        ``--update-baseline`` to drop them.
+        """
+        seen = {fingerprint(diag) for diag in diagnostics}
+        return {fp: context for fp, context in self.entries.items()
+                if fp not in seen}

@@ -10,6 +10,10 @@ no-code-needed tasks:
 * ``sweep``       — parameter sweep over a preset, optionally fanned
   out over worker processes (``--workers``) with content-addressed
   result caching (``--cache-dir``);
+* ``verify``      — schedule-space verification of a bundled app:
+  enumerate alternative same-time orderings (with partial-order
+  reduction) and reduce every sanitizer contention cluster to a
+  race/benign/deadlock verdict plus a certificate digest;
 * ``trace``       — run a bundled app with the event tracer attached
   and export Chrome ``trace_event`` JSON (``repro trace pingpong --out
   trace.json``, opens in Perfetto / ``about://tracing``); also still
@@ -416,12 +420,14 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     baseline = Baseline.load(baseline_path) if baseline_path else Baseline()
     new, known = baseline.split(all_diags)
     new_errors = [d for d in new if d.severity is Severity.ERROR]
+    stale = baseline.stale(all_diags)
 
     if args.json:
         import json
         payload = reports_to_dict(
             reports, ok=not new_errors, n_new=len(new),
-            n_baselined=len(known), n_suppressed=suppressed)
+            n_baselined=len(known), n_suppressed=suppressed,
+            n_stale=len(stale))
         if cache is not None:
             payload["cache"] = {"hits": cache.stats.hits,
                                 "misses": cache.stats.misses,
@@ -436,9 +442,49 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         print(f"linted {len(results)} file(s): {n_errors} error(s) "
               f"({len(new_errors)} new), {n_warn} warning(s), "
               f"{len(known)} baselined, {suppressed} suppressed")
+        if stale:
+            shown = ", ".join(sorted(stale.values())[:5])
+            more = "" if len(stale) <= 5 else f" (+{len(stale) - 5} more)"
+            print(f"warning: {len(stale)} stale baseline entry(ies) no "
+                  f"longer match any finding: {shown}{more}; refresh "
+                  f"with --update-baseline")
         if cache is not None:
             print(f"cache: {cache.stats.format()}")
     return 1 if new_errors else 0
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    from .check import reports_to_dict
+    from .verify import (VERIFY_APPS, ScheduleExplorer, VerifyError,
+                         app_verify_target)
+
+    if args.app not in VERIFY_APPS:
+        raise SystemExit(f"unknown app {args.app!r}; choose from: "
+                         + ", ".join(VERIFY_APPS))
+    machine = build_machine(args.preset, args.set or ())
+    target = app_verify_target(machine, args.app)
+    explorer = ScheduleExplorer(budget=args.budget,
+                                mode="naive" if args.naive else "dpor")
+    try:
+        result = explorer.explore(target, workers=args.workers)
+    except VerifyError as err:
+        raise SystemExit(f"verification failed: {err}")
+    report = result.report(subject=f"verify:{args.app}:{args.preset}")
+    if args.json:
+        import json
+        print(json.dumps(reports_to_dict([report], verify=result.to_dict()),
+                         indent=2, sort_keys=True))
+    else:
+        print(report.format())
+        status = ("schedule-independent" if result.ok
+                  else "NOT schedule-independent")
+        print(f"verified {args.app} on {args.preset} ({result.mode}): "
+              f"{status}; explored {result.schedules_explored}/"
+              f"{result.schedules_planned} schedule(s), "
+              f"{result.skipped} skipped, "
+              f"frontier {len(result.frontier)}")
+        print(f"certificate {result.certificate}")
+    return 0 if result.ok else 1
 
 
 def _run_app_traced(app: str, preset: str, overrides: Sequence[str],
@@ -639,6 +685,33 @@ def _parser() -> argparse.ArgumentParser:
                         "(same schema as `repro check --json`)")
 
     p = sub.add_parser(
+        "verify", help="schedule-space verification of a bundled app: "
+                       "race/deadlock verdicts under same-time "
+                       "tie-break perturbation")
+    p.add_argument("app",
+                   help="bundled app: pingpong, alltoall, pipeline or "
+                        "masterworker")
+    p.add_argument("--preset", choices=sorted(PRESETS),
+                   default="t805-grid-2x2",
+                   help="machine preset to verify the app on")
+    p.add_argument("--set", action="append", metavar="PATH=VALUE",
+                   help="config override, e.g. network.switching=wormhole")
+    p.add_argument("--budget", type=int, default=64, metavar="N",
+                   help="max schedules to execute, baseline included "
+                        "(default 64); unexplored orderings are "
+                        "reported as the frontier")
+    p.add_argument("--workers", type=int, default=1, metavar="N",
+                   help="shard independent schedules over N processes "
+                        "(default 1 = serial; results are identical)")
+    p.add_argument("--naive", action="store_true",
+                   help="disable partial-order reduction: permute every "
+                        "same-time dispatch burst, not just contention "
+                        "clusters")
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable verdicts + certificate on "
+                        "stdout (check/lint diagnostic schema)")
+
+    p = sub.add_parser(
         "trace", help="trace a bundled app to Chrome JSON, or profile a "
                       "saved .npz trace set")
     p.add_argument("path",
@@ -687,6 +760,7 @@ _COMMANDS = {
     "sweep": _cmd_sweep,
     "check": _cmd_check,
     "lint": _cmd_lint,
+    "verify": _cmd_verify,
     "trace": _cmd_trace,
     "stats": _cmd_stats,
 }

@@ -165,6 +165,32 @@ class Workbench:
                                            n_nodes=self.n_nodes))
         return report
 
+    def verify(self, traces: Union[TraceSet, Sequence[Iterable[Operation]],
+                                   None] = None, *,
+               application: Optional[str] = None, budget: int = 64,
+               workers: int = 1, mode: str = "dpor"):
+        """Explore same-time schedule orderings of one workload.
+
+        Runs the workload under the controllable tie-break scheduler
+        and reduces every contention cluster the sanitizer flags to a
+        verdict — confirmed race, reachable deadlock, proven benign, or
+        budget-truncated.  Pass task-level ``traces`` (communication
+        model) or a bundled ``application`` name (``"masterworker"``
+        runs execution-driven hybrid).  Returns a
+        :class:`repro.verify.VerifyResult`; ``workers > 1`` shards
+        independent schedules over the :mod:`repro.parallel` pool.
+        """
+        from ..verify import (ScheduleExplorer, TraceVerifyTarget,
+                              app_verify_target)
+        if (traces is None) == (application is None):
+            raise ValueError("pass exactly one of traces= or application=")
+        if traces is not None:
+            target = TraceVerifyTarget(self.machine, traces)
+        else:
+            target = app_verify_target(self.machine, application)
+        explorer = ScheduleExplorer(budget=budget, mode=mode)
+        return explorer.explore(target, workers=workers)
+
     # -- design-space sweeps -------------------------------------------------
 
     def sweep(self, label: str = "") -> "Sweep":

@@ -37,7 +37,7 @@ from .cache import ResultCache
 
 __all__ = ["FaultedRunner", "ParallelSweepRunner", "SweepVariantError",
            "default_workload_id", "execute_variant",
-           "execute_variant_timed"]
+           "execute_variant_timed", "run_sharded"]
 
 Runner = Callable[[MachineConfig], dict]
 #: one sweep point: (coordinates, machine variant)
@@ -133,6 +133,37 @@ def _mp_context() -> Optional[multiprocessing.context.BaseContext]:
     if "fork" in multiprocessing.get_all_start_methods():
         return multiprocessing.get_context("fork")
     return None  # pragma: no cover - non-POSIX platforms
+
+
+def run_sharded(fn: Callable[[Any], Any], items: Sequence[Any],
+                workers: int) -> list[Any]:
+    """Map a picklable ``fn`` over ``items`` on a process pool.
+
+    The generic sibling of :meth:`ParallelSweepRunner._execute`, shared
+    with ``repro verify`` (independent schedule shards): results come
+    back in item order, workers inherit the parent's kernel dispatcher,
+    and pool *infrastructure* failures (no fork support, unpicklable
+    work) fall back to in-process execution — ``fn`` itself is expected
+    to capture its own task-level errors, like
+    :func:`execute_variant` does.
+    """
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    if workers == 1 or len(items) <= 1:
+        return [fn(item) for item in items]
+    try:
+        with ProcessPoolExecutor(max_workers=min(workers, len(items)),
+                                 mp_context=_mp_context(),
+                                 initializer=_pin_kernel_mode,
+                                 initargs=(kernel_mode(),)) as pool:
+            futures: list[Future] = [pool.submit(fn, item)
+                                     for item in items]
+            return [f.result() for f in futures]
+    except (OSError, ImportError, BrokenExecutor,
+            pickle.PicklingError, AttributeError, TypeError):
+        # Same contract as ParallelSweepRunner._execute: simulations
+        # are pure, so in-process execution yields identical results.
+        return [fn(item) for item in items]
 
 
 class ParallelSweepRunner:

@@ -91,7 +91,8 @@ class Channel:
         done = Event(sim, f"{self.name}.send")
         self.sent_count += 1
         if sim.sanitizer is not None:
-            sim.sanitizer.record_channel(self.name, sim.now, "send")
+            sim.sanitizer.record_channel(self.name, sim.now, "send",
+                                         process=sim.current_process)
         if sim.tracer is not None:
             sim.tracer.channel_send(sim.now, self.name)
         if self._receivers:
@@ -119,7 +120,8 @@ class Channel:
         sim = self.sim
         got = Event(sim, f"{self.name}.recv")
         if sim.sanitizer is not None:
-            sim.sanitizer.record_channel(self.name, sim.now, "recv")
+            sim.sanitizer.record_channel(self.name, sim.now, "recv",
+                                         process=sim.current_process)
         if sim.tracer is not None:
             sim.tracer.channel_recv(sim.now, self.name)
         if self._buffer:

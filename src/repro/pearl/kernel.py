@@ -337,6 +337,15 @@ class Simulator:
         #: :meth:`attach_tracer`).  Costs one ``None`` check when
         #: detached, like ``sanitizer``.
         self.tracer = None
+        #: optional tie-break controller (see :meth:`attach_tie_break`);
+        #: when set, dispatch routes through the instrumented
+        #: :meth:`_dispatch_hooked` loop on both kernels.
+        self.tie_break = None
+        #: name of the event target currently being dispatched.
+        #: Maintained only by the instrumented dispatch paths (tracer,
+        #: sanitizer or tie-break hook attached) — the detached bulk
+        #: loops skip it so the hot path stays store-free.
+        self.current_process: str = ""
 
     # -- construction ----------------------------------------------------
 
@@ -357,10 +366,13 @@ class Simulator:
     def attach_sanitizer(self, sanitizer) -> None:
         """Opt in to determinism sanitizing for this simulation.
 
-        ``sanitizer`` must provide ``record_resource(name, now, granted)``
-        and ``record_channel(name, now, kind)`` — normally a
+        ``sanitizer`` must provide ``record_resource(name, now, granted,
+        process=...)`` and ``record_channel(name, now, kind,
+        process=...)`` — normally a
         :class:`repro.check.DeterminismSanitizer`.  The hooks cost one
         attribute check per resource/channel operation when detached.
+        Attaching one routes dispatch through the instrumented loop so
+        :attr:`current_process` names the contending processes.
         """
         self.sanitizer = sanitizer
 
@@ -374,6 +386,27 @@ class Simulator:
         detached simulations pay only a ``None`` check per operation.
         """
         self.tracer = tracer
+
+    def attach_tie_break(self, hook) -> None:
+        """Opt in to controllable same-time tie-breaking.
+
+        ``hook`` must provide ``select(time, candidates) -> int``, where
+        ``candidates`` is the list of scheduled entries
+        ``(time, seq, target, value)`` ready at the current instant, in
+        sequence (seed) order, and the return value is the index of the
+        entry to dispatch next.  ``select`` is consulted only when two or
+        more entries are simultaneously ready; returning ``0`` everywhere
+        reproduces the default schedule exactly.  This is the mechanism
+        behind :mod:`repro.verify` — schedule-space exploration perturbs
+        exactly the orderings the ``(time, seq)`` total order pins down.
+
+        Attach before :meth:`run`.  A hook routes dispatch through a
+        slower heap-only loop on **both** kernels (the fast ring is
+        bypassed so every same-time event is visible as a candidate):
+        verification runs pay for controllability, normal runs pay one
+        ``None`` check per :meth:`run`.
+        """
+        self.tie_break = hook
 
     def timeout(self, delay: float, value: Any = None, name: str = "") -> Event:
         """An event that triggers ``delay`` time units from now."""
@@ -447,14 +480,19 @@ class Simulator:
         ``max_events`` bounds how many events execute (``-1`` =
         unbounded).
         """
+        if self.tie_break is not None:
+            self._dispatch_hooked(until, max_events)
+            return
         heap = self._heap
         pop = heapq.heappop
         hook = self.trace_hook
         tracer = self.tracer
-        if tracer is None and max_events == -1:
+        if tracer is None and self.sanitizer is None and max_events == -1:
             # Detached bulk path: the same semantics with the
             # instrumentation conditionals constant-folded away, so an
             # untraced run() pays nothing for the tracing feature.
+            # Sanitized runs take the general loop below, which
+            # maintains ``current_process`` for contention diagnostics.
             while heap:
                 time, _seq, target, value = heap[0]
                 if until is not None and time > until:
@@ -482,14 +520,76 @@ class Simulator:
             if hook is not None:
                 hook(time, target)
             if type(target) is Process:
+                self.current_process = target.name
                 if tracer is not None:
                     tracer.process_step(time, target.name)
                 if target.alive:
                     target._step(value, tracer)
             else:
+                name = getattr(target, "__name__", "callback")
+                self.current_process = name
                 if tracer is not None:
-                    tracer.process_step(
-                        time, getattr(target, "__name__", "callback"))
+                    tracer.process_step(time, name)
+                target(value)
+
+    def _dispatch_hooked(self, until: Optional[float],
+                         max_events: int) -> None:
+        """Dispatch under a tie-break hook — shared by both kernels.
+
+        Heap-only (the fast ring is bypassed while a hook is attached),
+        with full instrumentation: every iteration collects the entries
+        ready at the current instant in sequence order and, when there
+        is a genuine tie, lets the hook pick which executes next.  The
+        chosen entry is removed **by sequence number**, never by tuple
+        equality — values may be arrays whose ``==`` is elementwise.
+        """
+        heap = self._heap
+        hook = self.trace_hook
+        tracer = self.tracer
+        select = self.tie_break.select
+        executed = 0
+        while heap and executed != max_events:
+            entry = heap[0]
+            time = entry[0]
+            if until is not None and time > until:
+                self.now = until
+                break
+            if len(heap) > 1:
+                candidates = sorted(
+                    (e for e in heap if e[0] == time), key=lambda e: e[1])
+                if len(candidates) > 1:
+                    chosen = select(time, candidates)
+                    if not 0 <= chosen < len(candidates):
+                        raise SimulationError(
+                            f"tie-break hook selected index {chosen} of "
+                            f"{len(candidates)} candidates at t={time:g}")
+                    entry = candidates[chosen]
+            if entry is heap[0]:
+                heapq.heappop(heap)
+            else:
+                seq = entry[1]
+                idx = next(i for i, e in enumerate(heap) if e[1] == seq)
+                last = heap.pop()
+                if idx < len(heap):
+                    heap[idx] = last
+                    heapq.heapify(heap)
+            executed += 1
+            self.now = time
+            target = entry[2]
+            value = entry[3]
+            if hook is not None:
+                hook(time, target)
+            if type(target) is Process:
+                self.current_process = target.name
+                if tracer is not None:
+                    tracer.process_step(time, target.name)
+                if target.alive:
+                    target._step(value, tracer)
+            else:
+                name = getattr(target, "__name__", "callback")
+                self.current_process = name
+                if tracer is not None:
+                    tracer.process_step(time, name)
                 target(value)
 
     def run(self, until: Optional[float] = None,
@@ -741,14 +841,16 @@ class FastSimulator(Simulator):
             )
         proc._scheduled = True
         self._seq += 1
-        if time == self.now and self._running:
+        # With a tie-break hook attached the ring is bypassed: the
+        # hooked loop must see every same-time event as a candidate.
+        if time == self.now and self._running and self.tie_break is None:
             self._ring_append(proc, value, self._seq)
         else:
             heapq.heappush(self._heap, (time, self._seq, proc, value))
 
     def _schedule_call(self, time: float, fn: Callable, value: Any) -> None:
         self._seq += 1
-        if time == self.now and self._running:
+        if time == self.now and self._running and self.tie_break is None:
             self._ring_append(fn, value, self._seq)
         else:
             heapq.heappush(self._heap, (time, self._seq, fn, value))
@@ -776,7 +878,13 @@ class FastSimulator(Simulator):
 
     def _dispatch(self, until: Optional[float], max_events: int) -> None:
         try:
-            if self.tracer is None and max_events == -1:
+            if self.tie_break is not None:
+                # Entries parked in the ring before the hook was
+                # attached must become heap candidates first.
+                self._flush_ring()
+                self._dispatch_hooked(until, max_events)
+            elif (self.tracer is None and self.sanitizer is None
+                    and max_events == -1):
                 self._dispatch_bulk(until)
             else:
                 self._dispatch_general(until, max_events)
@@ -941,12 +1049,14 @@ class FastSimulator(Simulator):
             if hook is not None:
                 hook(time, target)
             if target.__class__ is Process:
+                self.current_process = target.name
                 if tracer is not None:
                     tracer.process_step(time, target.name)
                 if target.alive:
                     target._step(value, tracer)
             else:
+                name = getattr(target, "__name__", "callback")
+                self.current_process = name
                 if tracer is not None:
-                    tracer.process_step(
-                        time, getattr(target, "__name__", "callback"))
+                    tracer.process_step(time, name)
                 target(value)

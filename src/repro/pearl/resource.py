@@ -93,7 +93,8 @@ class Resource:
                 self.max_queue_len = len(self._queue)
         sanitizer = self.sim.sanitizer
         if sanitizer is not None:
-            sanitizer.record_resource(self.name, self.sim.now, granted)
+            sanitizer.record_resource(self.name, self.sim.now, granted,
+                                      process=self.sim.current_process)
         tracer = self.sim.tracer
         if tracer is not None:
             tracer.resource_acquire(self.sim.now, self.name, granted,

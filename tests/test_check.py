@@ -416,6 +416,68 @@ class TestSanitizer:
         sim.run()                             # no sanitizer: no crash
         assert res.acquisitions == 2
 
+    def test_findings_name_time_and_processes(self, sim):
+        res = Resource(sim, capacity=1, name="bus")
+        san = DeterminismSanitizer()
+        sim.attach_sanitizer(san)
+
+        def worker():
+            yield 3.0
+            yield res.acquire()
+            yield 5.0
+            res.release()
+
+        sim.process(worker(), name="alice")
+        sim.process(worker(), name="bob")
+        sim.run()
+        (kd,) = san.report().by_rule("KD001")
+        assert "t=3" in kd.message
+        assert "alice" in kd.message and "bob" in kd.message
+
+    def test_repeated_clusters_deduplicated(self, sim):
+        res = Resource(sim, capacity=1, name="bus")
+        san = DeterminismSanitizer()
+        sim.attach_sanitizer(san)
+
+        def worker():
+            for _ in range(4):                # same (obj, procs) clash
+                yield 10.0                    # at t=10, 20, 30, 40
+                yield res.acquire()
+                res.release()
+
+        sim.process(worker(), name="alice")
+        sim.process(worker(), name="bob")
+        sim.run()
+        report = san.report()
+        kd = report.by_rule("KD001")
+        warnings = [d for d in kd if d.severity is Severity.WARNING]
+        notes = [d for d in kd if d.severity is Severity.NOTE]
+        assert len(warnings) == 1              # emitted once, not 4x
+        assert san.deduplicated == 3
+        assert any("deduplicated" in d.message for d in notes)
+        assert any("x4" in d.message for d in notes)
+
+    def test_clusters_accessor_for_verify_handoff(self, sim):
+        res = Resource(sim, capacity=1, name="bus")
+        san = DeterminismSanitizer()
+        sim.attach_sanitizer(san)
+
+        def worker():
+            yield res.acquire()
+            yield 5.0
+            res.release()
+
+        sim.process(worker(), name="alice")
+        sim.process(worker(), name="bob")
+        sim.run()
+        clusters = san.clusters()
+        assert clusters
+        cluster = clusters[0]
+        assert cluster.rule == "KD001"
+        assert cluster.obj == "bus"
+        assert cluster.time == 0.0
+        assert set(cluster.procs) == {"alice", "bob"}
+
 
 # ---------------------------------------------------------------------------
 # Runtime deadlock diagnostics (RT001) and validate.py delegation

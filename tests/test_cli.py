@@ -210,3 +210,141 @@ class TestSweepCommand:
         captured = capsys.readouterr()
         assert "wall_time_s" in captured.out
         assert "[1/2]" in captured.err and "[2/2]" in captured.err
+
+
+class TestCheckExitCodes:
+    """Exit codes and JSON schema of `repro check` (clean vs error)."""
+
+    def test_clean_preset_exits_zero(self, capsys):
+        assert main(["check", "--preset", "t805-grid-2x2"]) == 0
+        assert "0 error(s)" in capsys.readouterr().out
+
+    def test_clean_json_schema(self, capsys):
+        import json
+        assert main(["check", "--preset", "t805-grid-2x2", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True
+        assert payload["n_errors"] == 0
+        assert isinstance(payload["n_warnings"], int)
+        for report in payload["reports"]:
+            assert set(report) >= {"subject", "ok", "n_errors",
+                                   "n_warnings", "diagnostics"}
+            for diag in report["diagnostics"]:
+                assert set(diag) >= {"rule", "severity", "message",
+                                     "subject"}
+
+    def test_code_errors_exit_one(self, capsys):
+        path = "tests/fixtures/broken_model.py"
+        assert main(["check", "--preset", "t805-grid-2x2",
+                     "--code", path]) == 1
+        out = capsys.readouterr().out
+        assert "error" in out
+
+    def test_rules_table_lists_verify_rules(self, capsys):
+        assert main(["check", "--rules"]) == 0
+        out = capsys.readouterr().out
+        for rule in ("KV001", "KV002", "KV003", "KV004"):
+            assert rule in out
+
+
+class TestLintExitCodes:
+    """Exit codes and JSON schema of `repro lint` across gate states."""
+
+    CLEAN = '"""Clean model: nothing to flag."""\n\nX = 1\n'
+    WARN_ONLY = (
+        '"""PY020 only: returned value nobody can observe."""\n\n\n'
+        'def worker(sim):\n'
+        '    yield 1.0\n'
+        '    return 42\n\n\n'
+        'def drive(sim):\n'
+        '    sim.process(worker(sim))\n')
+
+    def test_clean_file_exits_zero(self, capsys, tmp_path):
+        path = tmp_path / "clean.py"
+        path.write_text(self.CLEAN)
+        assert main(["lint", str(path)]) == 0
+        assert "0 error(s) (0 new)" in capsys.readouterr().out
+
+    def test_warning_only_exits_zero(self, capsys, tmp_path):
+        import json
+        path = tmp_path / "warn.py"
+        path.write_text(self.WARN_ONLY)
+        assert main(["lint", str(path), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True
+        assert payload["n_errors"] == 0
+        assert payload["n_warnings"] >= 1
+        rules = [d["rule"] for r in payload["reports"]
+                 for d in r["diagnostics"]]
+        assert "PY020" in rules
+
+    def test_errors_exit_one_with_schema(self, capsys):
+        import json
+        assert main(["lint", "tests/fixtures/broken_model.py",
+                     "--json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is False
+        assert payload["n_errors"] >= 1
+        assert payload["n_new"] >= 1
+        assert payload["n_stale"] == 0
+
+    def test_baselined_errors_exit_zero(self, capsys, tmp_path):
+        baseline = tmp_path / "baseline.json"
+        assert main(["lint", "tests/fixtures/broken_model.py",
+                     "--baseline", str(baseline),
+                     "--update-baseline"]) == 0
+        capsys.readouterr()
+        assert main(["lint", "tests/fixtures/broken_model.py",
+                     "--baseline", str(baseline)]) == 0
+        out = capsys.readouterr().out
+        assert "(0 new)" in out
+        assert "stale" not in out
+
+    def test_stale_baseline_warns(self, capsys, tmp_path):
+        import json
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps({
+            "format": "repro-lint-baseline/v1",
+            "findings": {"deadbeefdeadbeefdead": "PY001 gone.py"}}))
+        clean = tmp_path / "clean.py"
+        clean.write_text(self.CLEAN)
+        assert main(["lint", str(clean), "--baseline",
+                     str(baseline)]) == 0
+        out = capsys.readouterr().out
+        assert "1 stale baseline entry(ies)" in out
+        assert "PY001 gone.py" in out
+        assert main(["lint", str(clean), "--baseline", str(baseline),
+                     "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["n_stale"] == 1
+
+
+class TestVerifyCommand:
+    def test_verify_pingpong_schedule_independent(self, capsys):
+        assert main(["verify", "pingpong", "--budget", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "schedule-independent" in out
+        assert "certificate" in out
+
+    def test_verify_json_schema(self, capsys):
+        import json
+        assert main(["verify", "masterworker", "--budget", "8",
+                     "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        verify = payload["verify"]
+        assert verify["ok"] is True
+        assert verify["mode"] == "dpor"
+        assert verify["schedules_explored"] >= 1
+        assert len(verify["certificate"]) == 64
+        assert isinstance(verify["clusters"], list)
+        (report,) = payload["reports"]
+        assert report["subject"].startswith("verify:masterworker:")
+
+    def test_verify_unknown_app(self):
+        with pytest.raises(SystemExit, match="unknown app"):
+            main(["verify", "mandelbrot"])
+
+    def test_verify_naive_mode_runs(self, capsys):
+        assert main(["verify", "pingpong", "--budget", "8",
+                     "--naive"]) == 0
+        assert "(naive)" in capsys.readouterr().out
