@@ -34,6 +34,7 @@ Package map (see DESIGN.md for the full inventory):
 * :mod:`repro.core`       — configuration, Workbench facade, experiments
 * :mod:`repro.parallel`   — parallel sweep execution + result caching
 * :mod:`repro.faults`     — deterministic fault injection + reliable transport
+* :mod:`repro.chaos`      — fault-sweep campaigns with SLO verdicts
 * :mod:`repro.check`      — static analyzer (``repro check``) + sanitizer
 * :mod:`repro.observe`    — event tracing (Chrome export) + metric registry
 """
@@ -59,6 +60,7 @@ from .check import (
     check_machine,
     check_traces,
 )
+from .chaos import CampaignSpec, ChaosResult, run_campaign
 from .core.experiment import Sweep, vary_machine
 from .faults import DeliveryFailed, FaultPlan
 from .core.workbench import Workbench
@@ -75,12 +77,13 @@ __version__ = "1.0.0"
 
 __all__ = [
     "BusConfig", "CPUConfig", "CacheConfig", "CacheLevelConfig",
+    "CampaignSpec", "ChaosResult",
     "CheckError", "DeliveryFailed", "DeterminismSanitizer", "Diagnostic",
     "FaultPlan", "MachineConfig",
     "MemoryConfig", "MetricRegistry", "NetworkConfig", "NodeConfig",
     "ParallelSweepRunner", "Report", "ResultCache", "Severity", "Sweep",
     "TopologyConfig", "Tracer",
     "Workbench", "__version__", "check_description", "check_machine",
-    "check_traces", "generic_multicomputer", "powerpc601_node", "smp_node",
-    "t805_grid", "vary_machine",
+    "check_traces", "generic_multicomputer", "powerpc601_node",
+    "run_campaign", "smp_node", "t805_grid", "vary_machine",
 ]

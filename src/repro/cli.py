@@ -10,6 +10,11 @@ no-code-needed tasks:
 * ``sweep``       — parameter sweep over a preset, optionally fanned
   out over worker processes (``--workers``) with content-addressed
   result caching (``--cache-dir``);
+* ``chaos``       — fault-sweep campaign over a bundled app: expand a
+  campaign spec into a fault-plan family (severity ladders, exhaustive
+  single-link-down packs, correlated failures, rolling outages), run
+  the rungs as a sharded cached sweep, and fold the rows into SLO
+  verdicts plus the ladder monotonicity invariant;
 * ``verify``      — schedule-space verification of a bundled app:
   enumerate alternative same-time orderings (with partial-order
   reduction) and reduce every sanitizer contention cluster to a
@@ -288,6 +293,57 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if cache is not None:
         print(f"cache: {cache.stats.format()} (dir={args.cache_dir})")
     return 0
+
+
+def _chaos_progress(done: int, total: int, row: dict) -> None:
+    """Per-rung progress line on stderr (``chaos --progress``)."""
+    status = "error" if "error" in row else "ok"
+    print(f"  [{done}/{total}] {row.get('rung', '?')} {status}",
+          file=sys.stderr)
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from .chaos import AppCampaignRunner, run_campaign
+    from .core.config import ConfigError
+
+    app = _resolve_app(args.app)
+    if app is None:
+        raise SystemExit(
+            f"unknown app {args.app!r}; choose from: "
+            + ", ".join(sorted(_app_traces())))
+    if args.workers < 1:
+        raise SystemExit(f"--workers must be >= 1, got {args.workers}")
+    machine = build_machine(args.preset, args.set or ())
+    tracer = None
+    if args.trace_out:
+        from .observe import Tracer
+        tracer = Tracer()
+    runner = AppCampaignRunner(app, size=args.size, repeats=args.repeats)
+    try:
+        result = run_campaign(
+            args.campaign, machine, runner, workers=args.workers,
+            cache=args.cache_dir,
+            progress=_chaos_progress if args.progress else None,
+            timing=args.timing, tracer=tracer)
+    except ConfigError as exc:
+        raise SystemExit(f"bad campaign spec: {exc}")
+    # Reports go to stdout; run bookkeeping (cache stats, trace path)
+    # goes to stderr, so stdout stays byte-identical between cold and
+    # warm cache runs (the CI smoke job diffs it).
+    if args.json:
+        print(result.to_json())
+    else:
+        print(result.format())
+    if tracer is not None:
+        tracer.export_chrome(args.trace_out)
+        print(f"wrote {args.trace_out} ({tracer.emitted} records)",
+              file=sys.stderr)
+    if result.cache_stats is not None:
+        stats = result.cache_stats
+        print(f"cache: {stats['hits']} hits, {stats['misses']} misses, "
+              f"{stats['stores']} stored (dir={args.cache_dir})",
+              file=sys.stderr)
+    return 0 if result.ok else 1
 
 
 def _check_targets(args: argparse.Namespace) -> list:
@@ -712,6 +768,43 @@ def _parser() -> argparse.ArgumentParser:
                         "stdout (check/lint diagnostic schema)")
 
     p = sub.add_parser(
+        "chaos", help="fault-sweep campaign over a bundled app with SLO "
+                      "verdicts (severity ladders, single-link-down "
+                      "packs, correlated failures, rolling outages)")
+    p.add_argument("app",
+                   help="bundled app: pingpong, alltoall or pipeline")
+    p.add_argument("--campaign", required=True, metavar="SPEC.json",
+                   help="campaign spec JSON (see repro.chaos."
+                        "CampaignSpec: base plan + generators + SLOs)")
+    p.add_argument("--preset", choices=sorted(PRESETS),
+                   default="t805-grid-2x2",
+                   help="machine preset to run the campaign on")
+    p.add_argument("--set", action="append", metavar="PATH=VALUE",
+                   help="config override, e.g. network.switching=wormhole")
+    p.add_argument("--workers", type=int, default=1, metavar="N",
+                   help="pack campaign rungs onto N processes "
+                        "(default 1 = serial; results are identical)")
+    p.add_argument("--cache-dir", default=None, metavar="DIR",
+                   help="content-addressed result cache shared across "
+                        "rungs; keys include each rung's plan digest")
+    p.add_argument("--size", type=int, default=1024, metavar="BYTES",
+                   help="app message/block size (default 1024)")
+    p.add_argument("--repeats", type=int, default=4, metavar="N",
+                   help="app repeats/rounds/items (default 4)")
+    p.add_argument("--timing", action="store_true",
+                   help="add a per-rung wall_time_s column "
+                        "(nondeterministic; excluded from --json)")
+    p.add_argument("--progress", action="store_true",
+                   help="print per-rung progress on stderr")
+    p.add_argument("--trace-out", default=None, metavar="FILE",
+                   help="also export the campaign as Chrome "
+                        "trace_event JSON")
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable rows + verdicts on stdout "
+                        "(deterministic: byte-identical across reruns "
+                        "and worker counts)")
+
+    p = sub.add_parser(
         "trace", help="trace a bundled app to Chrome JSON, or profile a "
                       "saved .npz trace set")
     p.add_argument("path",
@@ -761,6 +854,7 @@ _COMMANDS = {
     "check": _cmd_check,
     "lint": _cmd_lint,
     "verify": _cmd_verify,
+    "chaos": _cmd_chaos,
     "trace": _cmd_trace,
     "stats": _cmd_stats,
 }

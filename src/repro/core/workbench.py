@@ -191,6 +191,33 @@ class Workbench:
         explorer = ScheduleExplorer(budget=budget, mode=mode)
         return explorer.explore(target, workers=workers)
 
+    def chaos(self, campaign, runner=None, *,
+              application: Optional[str] = None, workers: int = 1,
+              cache=None, workload_id: Optional[str] = None,
+              progress=None, timing: bool = False, tracer=None,
+              registry=None):
+        """Run a chaos campaign against this machine.
+
+        ``campaign`` is a :class:`repro.chaos.CampaignSpec`, a spec
+        dict, or a path to a spec JSON file; its generators expand into
+        a fault-plan family (severity ladders, single-link-down packs,
+        ...) that is swept as rungs over the parallel-sweep machinery
+        and folded into SLO verdicts.  Pass a picklable ``runner``
+        accepting ``(machine, faults=plan)``, or a bundled
+        ``application`` name to use
+        :class:`repro.chaos.AppCampaignRunner`.  Returns a
+        :class:`repro.chaos.ChaosResult`.
+        """
+        from ..chaos import AppCampaignRunner, run_campaign
+        if (runner is None) == (application is None):
+            raise ValueError("pass exactly one of runner= or application=")
+        if runner is None:
+            runner = AppCampaignRunner(application)
+        return run_campaign(campaign, self.machine, runner,
+                            workload_id=workload_id, workers=workers,
+                            cache=cache, progress=progress, timing=timing,
+                            tracer=tracer, registry=registry)
+
     # -- design-space sweeps -------------------------------------------------
 
     def sweep(self, label: str = "") -> "Sweep":

@@ -229,15 +229,35 @@ class FaultPlan:
 
     def scaled(self, factor: float, name: str = "") -> "FaultPlan":
         """A copy with drop/corrupt probabilities scaled by ``factor``
-        (clamped to 1.0) — the natural fault-severity sweep axis:
+        — the natural fault-severity sweep axis:
         ``sweep.run(runner, faults=[plan.scaled(f) for f in (0, 1, 2)])``.
+
+        The pair is clamped *jointly*: ``drop_prob`` saturates at 1.0
+        first and ``corrupt_prob`` takes at most the remainder, so every
+        rung keeps ``drop_prob + corrupt_prob <= 1.0`` (the one-draw
+        outcome partition :class:`LinkFault` documents and
+        :meth:`validate` enforces) while ``drop_prob`` stays monotone in
+        ``factor`` — raising severity can only turn deliveries into
+        drops, never the reverse.
+
+        ``factor == 0`` is the fault-free baseline rung: *all* fault
+        content (windows included) is cleared, so the plan normalizes to
+        ``None`` via :func:`as_fault_plan` and the rung takes the seed
+        code path bit-for-bit, sharing its cache key with fault-free
+        runs.
         """
         if factor < 0:
             raise ConfigError(f"scale factor must be >= 0, got {factor}")
         plan = copy.deepcopy(self)
+        if factor == 0:
+            plan.link_faults = []
+            plan.link_down = []
+            plan.nic_stalls = []
+            plan.node_pauses = []
         for rule in plan.link_faults:
             rule.drop_prob = min(1.0, rule.drop_prob * factor)
-            rule.corrupt_prob = min(1.0, rule.corrupt_prob * factor)
+            rule.corrupt_prob = min(1.0 - rule.drop_prob,
+                                    rule.corrupt_prob * factor)
         plan.name = name or (f"{self.name or 'plan'}x{factor:g}")
         return plan
 

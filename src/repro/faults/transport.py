@@ -54,6 +54,26 @@ class DeliveryFailed(RuntimeError):
         self.attempts = attempts
         self.result = None
 
+    def partial_row(self) -> dict:
+        """Fault-metric columns salvaged from the partial result.
+
+        Sweep/campaign error rows carry the same ``dropped`` /
+        ``retransmissions`` / ``delivery_failed`` columns as successful
+        faulted rows (``repro.parallel.execute_variant`` merges this
+        dict into the ``on_error="capture"`` row), so row reductions
+        never have to special-case failed variants.  Without a partial
+        result the failure itself is still counted.
+        """
+        res = self.result
+        if res is None or res.fault_summary is None:
+            return {"dropped": 0, "retransmissions": 0,
+                    "delivery_failed": 1}
+        return {
+            "dropped": res.fault_summary.get("dropped", 0),
+            "retransmissions": res.retransmissions,
+            "delivery_failed": res.delivery_failures,
+        }
+
 
 class ReliableTransport:
     """Per-message retransmit state machine between the NICs and the

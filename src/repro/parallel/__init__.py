@@ -27,11 +27,14 @@ from .runner import (
     ParallelSweepRunner,
     SweepVariantError,
     default_workload_id,
+    error_message,
     execute_variant,
+    run_sharded,
 )
 
 __all__ = [
     "CacheStats", "FaultedRunner", "ParallelSweepRunner", "ResultCache",
     "SweepVariantError", "code_version", "default_workload_id",
-    "execute_variant", "result_key", "sources_digest",
+    "error_message", "execute_variant", "result_key", "run_sharded",
+    "sources_digest",
 ]

@@ -36,7 +36,7 @@ from ..pearl.kernel import kernel_mode
 from .cache import ResultCache
 
 __all__ = ["FaultedRunner", "ParallelSweepRunner", "SweepVariantError",
-           "default_workload_id", "execute_variant",
+           "default_workload_id", "error_message", "execute_variant",
            "execute_variant_timed", "run_sharded"]
 
 Runner = Callable[[MachineConfig], dict]
@@ -87,18 +87,41 @@ def execute_variant(runner: Runner, machine: MachineConfig
                     ) -> tuple[str, Any]:
     """Run one variant, capturing any exception.
 
-    Returns ``("ok", metrics)`` or ``("error", "Type: message")``.
-    Shared by the serial and parallel paths so both capture failures
-    identically.
+    Returns ``("ok", metrics)`` or ``("error", payload)`` where the
+    payload is normally the ``"Type: message"`` string.  Exceptions
+    exposing a ``partial_row()`` method (notably
+    :class:`repro.faults.DeliveryFailed`, which carries the partial
+    ``CommResult``) yield a *dict* payload ``{"error": message,
+    **partial_row()}`` so the captured row keeps the same metric
+    columns as successful rows — campaign-style reductions never see a
+    ragged schema.  Shared by the serial and parallel paths so both
+    capture failures identically.
     """
     try:
         metrics = runner(machine)
     except Exception as exc:              # noqa: BLE001 - captured by design
-        return "error", f"{type(exc).__name__}: {exc}"
+        message = f"{type(exc).__name__}: {exc}"
+        partial = getattr(exc, "partial_row", None)
+        if callable(partial):
+            try:
+                columns = partial()
+            except Exception:             # noqa: BLE001 - salvage is best-effort
+                columns = None
+            if columns:
+                return "error", {"error": message, **columns}
+        return "error", message
     if not isinstance(metrics, dict):
         return "error", (f"TypeError: runner returned "
                          f"{type(metrics).__name__}, expected dict")
     return "ok", metrics
+
+
+def error_message(payload: Any) -> str:
+    """The human-readable message of an ``("error", payload)`` outcome
+    (plain string, or the ``"error"`` entry of a structured payload)."""
+    if isinstance(payload, dict):
+        return payload["error"]
+    return payload
 
 
 def execute_variant_timed(runner: Runner, machine: MachineConfig
@@ -136,21 +159,34 @@ def _mp_context() -> Optional[multiprocessing.context.BaseContext]:
 
 
 def run_sharded(fn: Callable[[Any], Any], items: Sequence[Any],
-                workers: int) -> list[Any]:
+                workers: int,
+                progress: Optional[Callable[[int, int, Any], None]] = None
+                ) -> list[Any]:
     """Map a picklable ``fn`` over ``items`` on a process pool.
 
     The generic sibling of :meth:`ParallelSweepRunner._execute`, shared
-    with ``repro verify`` (independent schedule shards): results come
-    back in item order, workers inherit the parent's kernel dispatcher,
-    and pool *infrastructure* failures (no fork support, unpicklable
-    work) fall back to in-process execution — ``fn`` itself is expected
-    to capture its own task-level errors, like
-    :func:`execute_variant` does.
+    with ``repro verify`` (independent schedule shards) and ``repro
+    chaos`` (campaign rungs): results come back in item order, workers
+    inherit the parent's kernel dispatcher, and pool *infrastructure*
+    failures (no fork support, unpicklable work) fall back to
+    in-process execution — ``fn`` itself is expected to capture its own
+    task-level errors, like :func:`execute_variant` does.
+    ``progress(done, total, result)`` fires once per item, in item
+    order, as each result resolves.
     """
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
+
+    def _collect(results: Any) -> list[Any]:
+        out = []
+        for result in results:
+            out.append(result)
+            if progress is not None:
+                progress(len(out), len(items), result)
+        return out
+
     if workers == 1 or len(items) <= 1:
-        return [fn(item) for item in items]
+        return _collect(fn(item) for item in items)
     try:
         with ProcessPoolExecutor(max_workers=min(workers, len(items)),
                                  mp_context=_mp_context(),
@@ -158,12 +194,12 @@ def run_sharded(fn: Callable[[Any], Any], items: Sequence[Any],
                                  initargs=(kernel_mode(),)) as pool:
             futures: list[Future] = [pool.submit(fn, item)
                                      for item in items]
-            return [f.result() for f in futures]
+            return _collect(f.result() for f in futures)
     except (OSError, ImportError, BrokenExecutor,
             pickle.PicklingError, AttributeError, TypeError):
         # Same contract as ParallelSweepRunner._execute: simulations
         # are pure, so in-process execution yields identical results.
-        return [fn(item) for item in items]
+        return _collect(fn(item) for item in items)
 
 
 class ParallelSweepRunner:
@@ -241,9 +277,12 @@ class ParallelSweepRunner:
                             "machine": machine.name, "workload_id": wid})
                     row = {**coords, **payload}
                 elif on_error == "raise":
-                    raise SweepVariantError(coords, payload)
+                    raise SweepVariantError(coords, error_message(payload))
                 else:
-                    row = {**coords, "error": payload}
+                    # A structured payload already carries the "error"
+                    # key plus the partial metric columns.
+                    row = ({**coords, **payload} if isinstance(payload, dict)
+                           else {**coords, "error": payload})
                 if timing:
                     row["wall_time_s"] = wall
                 rows[idx] = row

@@ -11,6 +11,7 @@ higher drop probability ⇒ never fewer retransmissions).
 from __future__ import annotations
 
 import json
+import os
 from concurrent.futures import ProcessPoolExecutor
 
 import pytest
@@ -154,12 +155,57 @@ class TestFaultPlan:
                          link_faults=[LinkFault(0.3, 0.4)])
         double = plan.scaled(2.0)
         assert double.link_faults[0].drop_prob == pytest.approx(0.6)
-        assert double.link_faults[0].corrupt_prob == pytest.approx(0.8)
+        # Joint clamp: corrupt takes at most the remainder (1 - 0.6),
+        # not its independently-clamped 0.8 — the pair must stay a
+        # valid one-draw outcome partition.
+        assert double.link_faults[0].corrupt_prob == pytest.approx(0.4)
+        double.validate()
         assert plan.scaled(4.0).link_faults[0].drop_prob == 1.0  # clamped
+        assert plan.scaled(4.0).link_faults[0].corrupt_prob == 0.0
         assert plan.link_faults[0].drop_prob == 0.3       # original intact
         assert double.name == "basex2"
         with pytest.raises(ConfigError):
             plan.scaled(-1.0)
+
+    def test_scaled_joint_clamp_boundary(self):
+        """Regression: independent clamping let drop + corrupt exceed
+        1.0 (e.g. (0.3, 0.4) x 2 -> 0.6 + 0.8 = 1.4), which
+        ``validate`` rejects and which would corrupt the one-uniform-
+        draw outcome partition.  The joint clamp saturates drop first
+        and keeps every rung valid and drop-monotone in the factor."""
+        plan = FaultPlan(link_faults=[LinkFault(0.3, 0.4)])
+        factors = [0.0, 0.5, 1.0, 10 / 7, 2.0, 7 / 3, 10 / 3, 4.0, 100.0]
+        prev_drop = -1.0
+        for f in factors:
+            rung = plan.scaled(f)
+            rung.validate()                      # sum <= 1.0 always
+            rule = (rung.link_faults or [LinkFault()])[0]
+            assert rule.drop_prob + rule.corrupt_prob <= 1.0 + 1e-12
+            assert rule.drop_prob >= prev_drop   # monotone in factor
+            prev_drop = rule.drop_prob
+        # Exactly at the boundary factor the pair sums to 1.0.
+        edge = plan.scaled(10 / 7).link_faults[0]
+        assert edge.drop_prob + edge.corrupt_prob == pytest.approx(1.0)
+
+    def test_scaled_zero_clears_windows(self):
+        """Regression: ``scaled(0)`` used to zero the probabilities but
+        keep down/stall/pause windows active, so the "baseline" rung of
+        a severity ladder still injected faults and its cache key
+        diverged from the fault-free row."""
+        plan = FaultPlan(
+            seed=5,
+            link_faults=[LinkFault(0.2, 0.1)],
+            link_down=[DownWindow(0.0, 1_000.0)],
+            nic_stalls=[NodeWindow(0.0, 500.0, node=1)],
+            node_pauses=[NodeWindow(10.0, 20.0)])
+        rung = plan.scaled(0)
+        assert rung.is_empty()
+        assert as_fault_plan(rung) is None
+        # Non-fault content survives: seed and transport budget.
+        assert rung.seed == plan.seed
+        assert rung.transport == plan.transport
+        # The original plan is untouched.
+        assert plan.link_down and plan.nic_stalls and plan.node_pauses
 
     def test_as_fault_plan_forms(self, tmp_path):
         assert as_fault_plan(None) is None
@@ -420,6 +466,64 @@ class TestMetamorphic:
     def test_scaled_zero_equals_fault_free(self):
         plan = drop_plan(0.4)
         assert as_fault_plan(plan.scaled(0.0)) is None
+
+    @pytest.mark.parametrize("kernel", ["seed", "fast"])
+    @settings(max_examples=5, deadline=None)
+    @given(seed=st.integers(0, 2**31 - 1),
+           p=st.floats(0.02, 0.25),
+           factors=st.lists(st.floats(0.0, 2.4), min_size=2, max_size=3))
+    def test_severity_ladder_is_monotone(self, kernel, seed, p, factors):
+        """``[plan.scaled(f) for f in ladder]`` is monotone end to end,
+        clamp region included, under both kernel dispatchers.
+
+        The rung family covers the whole severity axis: factor 0 (the
+        normalized-away baseline), drawn intermediate factors, and a
+        factor large enough to clamp ``drop_prob`` to 1.0 (the joint
+        clamp zeroes ``corrupt_prob`` there; the dead wire is rescued
+        by degraded routing).  The fault rule covers one directed link
+        only, so every rung's draws come from one RNG stream and the
+        prefix argument from ``test_raising_drop_probability_is_
+        monotone`` applies: dropped and retransmissions never decrease
+        with severity, delivered messages never increase.
+        """
+        base = FaultPlan(
+            seed=seed,
+            link_faults=[LinkFault(drop_prob=p, corrupt_prob=0.1,
+                                   src=0, dst=1)],
+            transport=TransportConfig(timeout_cycles=50_000.0,
+                                      backoff_factor=1.0,
+                                      max_retries=200))
+        ladder = [0.0, *sorted(factors), 1e6]       # 1e6: clamped rung
+        rungs = [base.scaled(f) for f in ladder]
+        assert rungs[-1].link_faults[0].drop_prob == 1.0
+        assert rungs[-1].link_faults[0].corrupt_prob == 0.0
+        saved = os.environ.get("REPRO_KERNEL")
+        rows = []
+        try:
+            os.environ["REPRO_KERNEL"] = kernel
+            for rung in rungs:
+                _model, result = run_pingpong(as_fault_plan(rung))
+                summary = result.fault_summary or {}
+                transport = summary.get("transport", {})
+                rows.append({
+                    "dropped": summary.get("dropped", 0),
+                    "retransmissions": result.retransmissions,
+                    "delivered": transport.get(
+                        "delivered", result.messages_delivered),
+                    "failed": result.delivery_failures,
+                })
+        finally:
+            if saved is None:
+                os.environ.pop("REPRO_KERNEL", None)
+            else:
+                os.environ["REPRO_KERNEL"] = saved
+        for lo, hi in zip(rows, rows[1:]):
+            assert hi["dropped"] >= lo["dropped"]
+            assert hi["retransmissions"] >= lo["retransmissions"]
+            assert hi["delivered"] <= lo["delivered"]
+        assert all(row["failed"] == 0 for row in rows)
+        # The clamped rung really lost traffic and really recovered.
+        assert rows[-1]["dropped"] > rows[0]["dropped"]
 
 
 # ---------------------------------------------------------------------------

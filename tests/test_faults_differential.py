@@ -115,6 +115,31 @@ class TestEmptyPlanIsNoPlan:
         legacy = result_key(machine, "w", version="v1")
         assert result_key(machine, "w", version="v1", faults=None) == legacy
 
+    def test_scaled_zero_rung_is_the_fault_free_row(self):
+        """Regression: a severity ladder's ``scaled(0)`` rung used to
+        keep its windows, so the "baseline" rung ran with the injector
+        and transport engaged and cached under a diverged key.  Now it
+        normalizes to ``None``: same wiring, byte-identical rows, same
+        cache key as a plain fault-free run."""
+        from repro.faults import DownWindow, as_fault_plan
+        base = lossy_plan()
+        base.link_down = [DownWindow(0.0, 50_000.0)]   # windows too
+        rung = base.scaled(0.0)
+        assert as_fault_plan(rung) is None
+        machine = generic_multicomputer("mesh", (2, 2))
+        model = MultiNodeModel(machine, faults=rung)
+        assert model.injector is None and model.transport is None
+        sweep = Sweep(t805_grid(2, 2))
+        sweep.axis("bw", _set_bandwidth, [1, 2])
+        rows_none = sweep.run(stochastic_row)
+        rows_rung = sweep.run(stochastic_row, faults=rung)
+        assert json.dumps(rows_none, sort_keys=True) == \
+            json.dumps(rows_rung, sort_keys=True)
+        machine = t805_grid(2, 2)
+        assert result_key(machine, "w", version="v1",
+                          faults=as_fault_plan(rung)) == \
+            result_key(machine, "w", version="v1")
+
 
 def _set_bandwidth(machine, value):
     machine.network.link_bandwidth = value

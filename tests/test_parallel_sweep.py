@@ -73,6 +73,23 @@ def nondict_runner(machine):
     return 42
 
 
+def undeliverable_runner(machine):
+    """A faulted pingpong whose every link is dead: the transport
+    exhausts its budget and raises DeliveryFailed mid-run."""
+    from repro.commmodel.message import reset_message_ids
+    from repro.commmodel.network import MultiNodeModel
+    from repro.faults import FaultPlan, LinkFault, TransportConfig
+    plan = FaultPlan(
+        seed=1, link_faults=[LinkFault(drop_prob=1.0)],
+        transport=TransportConfig(timeout_cycles=1_000.0,
+                                  backoff_factor=1.0, max_retries=1))
+    reset_message_ids()
+    model = MultiNodeModel(machine, faults=plan)
+    res = model.run(list(pingpong_task_traces(
+        model.n_nodes, size=64, repeats=1, b=1)))
+    return {"cycles": res.total_cycles}
+
+
 def counting_runner(machine, log_path):
     """Append one line per simulation so tests can count invocations."""
     with open(log_path, "a") as fp:
@@ -173,6 +190,33 @@ class TestErrorCapture:
             lambda m: 1 / 0, machine)
         assert status == "error"
         assert message.startswith("ZeroDivisionError")
+
+    @pytest.mark.parametrize("workers", [None, 2], ids=["serial", "parallel"])
+    def test_delivery_failed_row_keeps_metric_columns(self, workers):
+        """Regression: a ``DeliveryFailed`` variant used to collapse to
+        a bare ``{coords, error}`` row, so campaign reductions saw a
+        ragged schema.  The captured row now carries the same
+        ``dropped``/``retransmissions``/``delivery_failed`` columns as
+        successful faulted rows, salvaged from the partial result."""
+        machine = generic_multicomputer("mesh", (2, 2))
+        pool = ParallelSweepRunner(workers=workers)
+        rows = pool.run(undeliverable_runner, [({"v": 1}, machine)],
+                        workload_id="w")
+        (row,) = rows
+        assert row["v"] == 1
+        assert row["error"].startswith("DeliveryFailed")
+        # Uniform schema: the fault-metric columns are present and
+        # real (every attempt on the dead mesh was dropped).
+        assert row["delivery_failed"] == 1
+        assert row["dropped"] > 0
+        assert row["retransmissions"] > 0
+
+    def test_delivery_failed_still_raises_on_request(self):
+        machine = generic_multicomputer("mesh", (2, 2))
+        pool = ParallelSweepRunner(workers=1)
+        with pytest.raises(SweepVariantError, match="DeliveryFailed"):
+            pool.run(undeliverable_runner, [({}, machine)],
+                     workload_id="w", on_error="raise")
 
 
 # ---------------------------------------------------------------------------
