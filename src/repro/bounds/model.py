@@ -1,0 +1,234 @@
+"""Result model for the static performance-bound analyzer.
+
+A :class:`BoundReport` is the static mirror of
+:class:`repro.commmodel.network.CommResult`: everything in it is
+computed from the operation traces, the machine description, and the
+topology/routing function alone — the simulator is never constructed.
+Each quantity is a certified *lower bound* on what any simulation of
+the same workload on the same machine can report (see
+``repro.bounds.analyzer`` for the argument per quantity), which is what
+makes the PB0xx cross-check rules sound: a simulated cycle count below
+``cycle_lower_bound`` is a kernel/model bug, never a fast machine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Tuple
+
+__all__ = [
+    "LinkLoad",
+    "MessageClassBound",
+    "NodeBound",
+    "BoundReport",
+]
+
+#: Cap on per-entry detail emitted by :meth:`BoundReport.to_dict` for
+#: unbounded collections (hot links, message classes).  Totals are
+#: always exact; only the itemized listings are truncated.
+_TO_DICT_TOP = 10
+
+
+@dataclass(frozen=True)
+class NodeBound:
+    """Per-processor static work summary.
+
+    ``serial_cycles`` is the node's own busywork — compute durations
+    plus send/receive software overheads — ignoring all waiting.
+    ``finish_lower`` is the node's completion-time lower bound from the
+    cross-node dependence pass (always ``>= serial_cycles``).
+    """
+
+    node: int
+    serial_cycles: float
+    finish_lower: float
+    n_ops: int
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "node": self.node,
+            "serial_cycles": self.serial_cycles,
+            "finish_lower": self.finish_lower,
+            "n_ops": self.n_ops,
+        }
+
+
+@dataclass(frozen=True)
+class LinkLoad:
+    """Static traffic demand on one directed link.
+
+    ``bytes`` counts packet *wire* bytes (payload + header), exactly as
+    :meth:`repro.commmodel.link.Link.account` does, so for deterministic
+    routing functions it equals the simulated ``Link.bytes_moved``
+    fault-free.  ``demand_cycles`` is the serialization time the link
+    needs just to move those bytes (``bytes / effective_bandwidth``) —
+    a lower bound on the link's simulated busy time.
+    """
+
+    src: int
+    dst: int
+    bytes: float
+    packets: float
+    demand_cycles: float
+    bandwidth: float
+
+    @property
+    def key(self) -> str:
+        return f"{self.src}->{self.dst}"
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "link": self.key,
+            "bytes": self.bytes,
+            "packets": self.packets,
+            "demand_cycles": self.demand_cycles,
+            "bandwidth": self.bandwidth,
+        }
+
+
+@dataclass(frozen=True)
+class MessageClassBound:
+    """LogP-style bounds for one message class ``(src, dst, size)``.
+
+    ``latency_cycles`` is the contention-free end-to-end lower bound
+    for one message of the class: ``o_send + transit + o_recv`` (LogP's
+    ``o + L + o`` with ``L`` covering the full pipelined network
+    transit for the configured switching discipline).  ``gap_cycles``
+    is the bandwidth-side bound: the serialization time of the whole
+    message at the slowest link on its route — no source can push
+    messages of this class faster than one per ``gap_cycles``.
+    """
+
+    src: int
+    dst: int
+    size: int
+    count: int
+    hops: int
+    transit_cycles: float
+    latency_cycles: float
+    gap_cycles: float
+    o_send: float
+    o_recv: float
+
+    @property
+    def key(self) -> str:
+        return f"{self.src}->{self.dst}:{self.size}"
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "class": self.key,
+            "src": self.src,
+            "dst": self.dst,
+            "size": self.size,
+            "count": self.count,
+            "hops": self.hops,
+            "transit_cycles": self.transit_cycles,
+            "latency_cycles": self.latency_cycles,
+            "gap_cycles": self.gap_cycles,
+            "o_send": self.o_send,
+            "o_recv": self.o_recv,
+        }
+
+
+@dataclass
+class BoundReport:
+    """Everything the static analyzer can prove about one workload."""
+
+    machine: str
+    subject: str
+    n_nodes: int
+    switching: str
+    routing: str
+    #: False for adaptive (``random_minimal``) routing: link loads are
+    #: *expected* over the routing RNG, not certain, and message
+    #: transits assume best-case path choice.  PB002 degrades to a
+    #: warning and PB001 to a warning when this is unset.
+    routing_exact: bool
+    converged: bool
+    nodes: List[NodeBound] = field(default_factory=list)
+    link_loads: List[LinkLoad] = field(default_factory=list)
+    message_classes: List[MessageClassBound] = field(default_factory=list)
+    critical_path_cycles: float = 0.0
+    cycle_lower_bound: float = 0.0
+    stalled_nodes: Tuple[int, ...] = ()
+    n_messages: int = 0
+    total_bytes: float = 0.0
+
+    @property
+    def max_serial_cycles(self) -> float:
+        return max((n.serial_cycles for n in self.nodes), default=0.0)
+
+    @property
+    def max_link_demand_cycles(self) -> float:
+        return max((l.demand_cycles for l in self.link_loads), default=0.0)
+
+    def hot_links(self, top: int = _TO_DICT_TOP) -> List[LinkLoad]:
+        """Links ranked by demand, heaviest first (ties by link id)."""
+        ranked = sorted(self.link_loads,
+                        key=lambda l: (-l.demand_cycles, l.src, l.dst))
+        return ranked[:top] if top >= 0 else ranked
+
+    def overloaded_links(self, budget_cycles: float) -> List[LinkLoad]:
+        """Links whose serialization demand alone exceeds ``budget_cycles``.
+
+        With the dependence critical path as the budget, such a link is
+        statically guaranteed to stretch execution past the task-graph
+        bound: the workload is link-limited, not dependence-limited.
+        """
+        return [l for l in self.hot_links(top=-1)
+                if l.demand_cycles > budget_cycles]
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Deterministic JSON form (entries sorted, listings capped)."""
+        return {
+            "machine": self.machine,
+            "subject": self.subject,
+            "n_nodes": self.n_nodes,
+            "switching": self.switching,
+            "routing": self.routing,
+            "routing_exact": self.routing_exact,
+            "converged": self.converged,
+            "critical_path_cycles": self.critical_path_cycles,
+            "cycle_lower_bound": self.cycle_lower_bound,
+            "max_serial_cycles": self.max_serial_cycles,
+            "max_link_demand_cycles": self.max_link_demand_cycles,
+            "n_messages": self.n_messages,
+            "total_bytes": self.total_bytes,
+            "stalled_nodes": list(self.stalled_nodes),
+            "nodes": [n.to_dict() for n in self.nodes],
+            "hot_links": [l.to_dict() for l in self.hot_links()],
+            "n_links_loaded": len(self.link_loads),
+            "message_classes": [
+                c.to_dict() for c in sorted(
+                    self.message_classes,
+                    key=lambda c: (-c.count * c.gap_cycles, c.key),
+                )[:_TO_DICT_TOP]
+            ],
+            "n_message_classes": len(self.message_classes),
+        }
+
+    def format(self) -> str:
+        """Human-readable multi-line summary (mirrors ``Report.format``)."""
+        lines = [
+            f"bound report for {self.subject or self.machine}",
+            f"  machine            {self.machine} ({self.n_nodes} nodes, "
+            f"{self.switching}/{self.routing})",
+            f"  critical path      {self.critical_path_cycles:.1f} cycles",
+            f"  cycle lower bound  {self.cycle_lower_bound:.1f} cycles",
+            f"  max serial work    {self.max_serial_cycles:.1f} cycles",
+            f"  messages           {self.n_messages} "
+            f"({self.total_bytes:.0f} wire bytes)",
+        ]
+        if not self.routing_exact:
+            lines.append("  routing            adaptive - link loads are "
+                         "expected values")
+        if not self.converged:
+            lines.append(f"  WARNING: dependence pass stalled on nodes "
+                         f"{list(self.stalled_nodes)} (partial bound)")
+        hot = self.hot_links(top=5)
+        if hot:
+            lines.append("  hot links (serialization demand):")
+            for l in hot:
+                lines.append(f"    {l.key:>10s}  {l.bytes:10.0f} B  "
+                             f"{l.demand_cycles:12.1f} cycles")
+        return "\n".join(lines)

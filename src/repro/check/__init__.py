@@ -14,7 +14,9 @@ Facade functions (one per artifact kind):
   validity, parameter consistency of a
   :class:`~repro.core.config.MachineConfig`;
 * :func:`check_description` — stochastic-description linting of a
-  :class:`~repro.tracegen.descriptions.StochasticAppDescription`.
+  :class:`~repro.tracegen.descriptions.StochasticAppDescription`;
+* :func:`check_bounds` — static performance-bound analysis (``PB``
+  rules) of a ``(machine, traces)`` pair via :mod:`repro.bounds`.
 
 Each returns a :class:`Report` of :class:`Diagnostic` records (rule ids
 ``TR001``..., ``MC001``..., ``AD001``...; see :data:`RULES`).
@@ -27,7 +29,15 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Optional
 
 from .description_passes import DESCRIPTION_PASSES
-from .diagnostics import RULES, Diagnostic, Report, Severity, reports_to_dict
+from .diagnostics import (
+    RULE_FAMILIES,
+    RULES,
+    Diagnostic,
+    Report,
+    Severity,
+    reports_to_dict,
+    rule_family,
+)
 from .lint import (
     LINT_PASSES,
     Baseline,
@@ -52,9 +62,10 @@ __all__ = [
     "ContentionCluster", "DESCRIPTION_PASSES", "Diagnostic",
     "DeterminismSanitizer",
     "FileLint", "LINT_PASSES", "LintCache", "MACHINE_PASSES",
-    "PassManager", "RULES", "Report", "Severity", "TRACE_PASSES",
-    "check_description", "check_machine", "check_traces", "ensure_ok",
-    "lint_file", "lint_paths", "lint_source", "reports_to_dict",
+    "PassManager", "RULES", "RULE_FAMILIES", "Report", "Severity",
+    "TRACE_PASSES", "check_bounds", "check_description", "check_machine",
+    "check_traces", "ensure_ok", "lint_file", "lint_paths", "lint_source",
+    "reports_to_dict", "rule_family",
 ]
 
 
@@ -96,6 +107,27 @@ def check_description(description: "StochasticAppDescription",
     ctx = CheckContext(subject=subject, description=description,
                        n_nodes=n_nodes)
     return PassManager(DESCRIPTION_PASSES).run(ctx)
+
+
+def check_bounds(machine: "MachineConfig", traces: "TraceSet",
+                 subject: Optional[str] = None) -> Report:
+    """Run the static bound pipeline (``PB`` rules) on one workload.
+
+    The machine and trace pipelines run first as a silent pre-flight:
+    their findings are *not* repeated in the returned report (those
+    families belong to :func:`check_machine`/:func:`check_traces`), but
+    any error among them suppresses the bound analysis, whose geometry
+    they would invalidate.
+    """
+    from ..bounds.passes import BOUNDS_PASSES
+    if subject is None:
+        subject = f"bounds:{machine.name}"
+    ctx = CheckContext(subject=subject, machine=machine, traces=traces,
+                       n_nodes=machine.n_nodes)
+    ctx.prior.extend(check_machine(machine, subject=subject))
+    ctx.prior.extend(check_traces(traces, n_nodes=machine.n_nodes,
+                                  subject=subject))
+    return PassManager(BOUNDS_PASSES).run(ctx)
 
 
 def ensure_ok(report: Report) -> Report:

@@ -16,6 +16,12 @@ Rule-id families
 ``KV``   schedule-space verification verdicts (``repro verify``)
 ``RT``   runtime reports (simulation deadlock details)
 ``PY``   source lint of model/app Python code (``repro lint``)
+``PB``   static performance bounds (``repro bound`` / bound cross-checks)
+
+This module is the one registry: every rule id any tool can emit lives
+in :data:`RULES`, every family in :data:`RULE_FAMILIES`, and
+``tests/test_rules_registry.py`` asserts both global uniqueness and
+that no :class:`Diagnostic` construction site uses an unregistered id.
 """
 
 from __future__ import annotations
@@ -25,7 +31,8 @@ from dataclasses import dataclass, field
 from enum import IntEnum
 from typing import Any, Iterable, Iterator, Optional
 
-__all__ = ["Severity", "Diagnostic", "Report", "RULES", "reports_to_dict"]
+__all__ = ["Severity", "Diagnostic", "Report", "RULES", "RULE_FAMILIES",
+           "rule_family", "reports_to_dict"]
 
 
 class Severity(IntEnum):
@@ -74,7 +81,32 @@ RULES: dict[str, str] = {
     "PY013": "hold/timeout with a negative literal duration",
     "PY020": "process return value unobservable (handle discarded)",
     "PY021": "yield of an event that may already have completed",
+    "PB001": "simulated cycles below the static lower bound (kernel/model "
+             "bug or corrupted cache row)",
+    "PB002": "link statically loaded beyond capacity (demand exceeds the "
+             "task-graph critical path)",
+    "PB003": "simulated-to-bound gap above threshold (machine mostly "
+             "waiting; informational)",
 }
+
+#: One-line description of every rule-id family (the two-letter prefix
+#: shared by related rules).  ``repro check --json`` and friends report
+#: per-family counts keyed by these prefixes.
+RULE_FAMILIES: dict[str, str] = {
+    "TR": "trace passes (structure, matching, static deadlock)",
+    "MC": "machine-config passes (contract, topology, routing, parameters)",
+    "AD": "application-description passes (mix, branch model, node count)",
+    "KD": "kernel determinism sanitizer (tie-break sensitivity)",
+    "KV": "schedule-space verification verdicts (repro verify)",
+    "RT": "runtime reports (simulation deadlock details)",
+    "PY": "source lint of model/app Python code (repro lint)",
+    "PB": "static performance bounds (repro bound / cross-checks)",
+}
+
+
+def rule_family(rule: str) -> str:
+    """The family prefix of a rule id (``"PB001"`` -> ``"PB"``)."""
+    return rule.rstrip("0123456789")
 
 
 @dataclass(frozen=True)
@@ -199,15 +231,31 @@ def reports_to_dict(reports: Iterable[Report],
                     **extra: Any) -> dict[str, Any]:
     """The one JSON schema shared by ``repro check`` and ``repro lint``.
 
-    ``{"ok", "n_errors", "n_warnings", "reports": [Report.to_dict()...]}``
-    plus any command-specific ``extra`` keys (e.g. baseline counters).
-    ``ok`` follows PR-2 semantics: only error severity fails.
+    ``{"ok", "n_errors", "n_warnings", "rule_families",
+    "reports": [Report.to_dict()...]}`` plus any command-specific
+    ``extra`` keys (e.g. baseline counters).  ``ok`` follows PR-2
+    semantics: only error severity fails.  ``rule_families`` counts
+    findings per family prefix (only families that fired appear)::
+
+        {"TR": {"errors": 1, "warnings": 0, "notes": 0}, ...}
     """
     materialized = list(reports)
+    families: dict[str, dict[str, int]] = {}
+    for report in materialized:
+        for d in report.diagnostics:
+            bucket = families.setdefault(
+                rule_family(d.rule), {"errors": 0, "warnings": 0, "notes": 0})
+            if d.severity is Severity.ERROR:
+                bucket["errors"] += 1
+            elif d.severity is Severity.WARNING:
+                bucket["warnings"] += 1
+            else:
+                bucket["notes"] += 1
     out: dict[str, Any] = {
         "ok": all(r.ok for r in materialized),
         "n_errors": sum(len(r.errors) for r in materialized),
         "n_warnings": sum(len(r.warnings) for r in materialized),
+        "rule_families": {k: families[k] for k in sorted(families)},
         "reports": [r.to_dict() for r in materialized],
     }
     out.update(extra)

@@ -19,6 +19,10 @@ no-code-needed tasks:
   enumerate alternative same-time orderings (with partial-order
   reduction) and reduce every sanitizer contention cluster to a
   race/benign/deadlock verdict plus a certificate digest;
+* ``bound``       — static performance bounds of a bundled app or saved
+  trace set (critical path, hot-link ranking, LogP latency floors) with
+  no simulation at all; ``--audit CACHE_DIR`` instead cross-checks every
+  cached sweep row against its own bounds (PB rules);
 * ``trace``       — run a bundled app with the event tracer attached
   and export Chrome ``trace_event`` JSON (``repro trace pingpong --out
   trace.json``, opens in Perfetto / ``about://tracing``); also still
@@ -386,6 +390,15 @@ def _check_targets(args: argparse.Namespace) -> list:
                         alltoall_task_traces(args.nodes)))
         targets.append(("traces", "app:pipeline",
                         pipeline_task_traces(args.nodes)))
+        # Static performance bounds (PB rules) of each bundled app on a
+        # reference machine: catches statically link-limited workloads.
+        bound_machine = PRESETS["t805-grid-2x2"]()
+        n = bound_machine.n_nodes
+        for app, traces in (("pingpong", pingpong_task_traces(n)),
+                            ("alltoall", alltoall_task_traces(n)),
+                            ("pipeline", pipeline_task_traces(n))):
+            targets.append(("bounds", f"{app}:t805-grid-2x2",
+                            (bound_machine, traces)))
     return targets
 
 
@@ -405,8 +418,8 @@ def _check_determinism(machine, preset: str):
 
 
 def _cmd_check(args: argparse.Namespace) -> int:
-    from .check import (RULES, check_description, check_machine,
-                        check_traces, reports_to_dict)
+    from .check import (RULES, check_bounds, check_description,
+                        check_machine, check_traces, reports_to_dict)
 
     if args.rules:
         rows = [{"rule": rule, "description": text}
@@ -422,6 +435,9 @@ def _cmd_check(args: argparse.Namespace) -> int:
                 report.merge(_check_determinism(artifact, name))
         elif kind == "traces":
             report = check_traces(artifact, subject=f"traces:{name}")
+        elif kind == "bounds":
+            machine, traces = artifact
+            report = check_bounds(machine, traces, subject=f"bounds:{name}")
         else:
             report = check_description(artifact, n_nodes=args.nodes,
                                        subject=f"description:{name}")
@@ -541,6 +557,55 @@ def _cmd_verify(args: argparse.Namespace) -> int:
               f"frontier {len(result.frontier)}")
         print(f"certificate {result.certificate}")
     return 0 if result.ok else 1
+
+
+def _cmd_bound(args: argparse.Namespace) -> int:
+    import json
+
+    from .bounds import audit_cache, compute_bounds, static_diagnostics
+    from .check import Report, reports_to_dict
+
+    if args.workers < 1:
+        raise SystemExit(f"--workers must be >= 1, got {args.workers}")
+    threshold = args.gap_threshold if args.gap_threshold > 0 else None
+
+    if args.audit:
+        if args.target:
+            raise SystemExit("--audit audits a cache directory; drop the "
+                             "app/trace argument")
+        try:
+            result = audit_cache(args.audit, workers=args.workers,
+                                 gap_threshold=threshold)
+        except FileNotFoundError as exc:
+            raise SystemExit(str(exc))
+        if args.json:
+            print(json.dumps(result.to_dict(), indent=2, sort_keys=True))
+        else:
+            print(result.format())
+        return 0 if result.ok else 1
+
+    if not args.target:
+        raise SystemExit("pass a bundled app name or .npz trace-set path "
+                         "(or --audit CACHE_DIR)")
+    machine = build_machine(args.preset, args.set or ())
+    app = _resolve_app(args.target)
+    if app is not None:
+        traces = _app_traces()[app](machine.n_nodes)
+        subject = f"bounds:{app}:{args.preset}"
+    else:
+        traces = TraceSet.load(args.target)
+        subject = f"bounds:{args.target}"
+    bound = compute_bounds(machine, traces, subject=subject)
+    report = Report(subject=subject)
+    report.extend(static_diagnostics(bound, subject=subject))
+    if args.json:
+        print(json.dumps(reports_to_dict([report], bound=bound.to_dict()),
+                         indent=2, sort_keys=True))
+    else:
+        print(bound.format())
+        if report.diagnostics:
+            print(report.format())
+    return 1 if report.errors else 0
 
 
 def _run_app_traced(app: str, preset: str, overrides: Sequence[str],
@@ -805,6 +870,32 @@ def _parser() -> argparse.ArgumentParser:
                         "and worker counts)")
 
     p = sub.add_parser(
+        "bound", help="static performance bounds (critical path, hot "
+                      "links, LogP latency) of an app or trace set — no "
+                      "simulation; --audit cross-checks cached sweep rows")
+    p.add_argument("target", nargs="?", default=None,
+                   help="bundled app (pingpong/alltoall/pipeline) or a "
+                        ".npz trace-set path; omit with --audit")
+    p.add_argument("--preset", choices=sorted(PRESETS),
+                   default="t805-grid-2x2",
+                   help="machine preset to bound the workload on")
+    p.add_argument("--set", action="append", metavar="PATH=VALUE",
+                   help="config override, e.g. network.link_bandwidth=8")
+    p.add_argument("--audit", default=None, metavar="CACHE_DIR",
+                   help="cross-check every cached sweep row in CACHE_DIR "
+                        "against its static bounds (PB001/PB003)")
+    p.add_argument("--workers", type=int, default=1, metavar="N",
+                   help="audit rows on N processes (default 1 = serial; "
+                        "output is byte-identical for any N)")
+    p.add_argument("--gap-threshold", type=float, default=10.0,
+                   dest="gap_threshold", metavar="X",
+                   help="PB003 note when simulated > X * bound "
+                        "(default 10; <= 0 disables)")
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable bounds + diagnostics on stdout "
+                        "(check/lint schema plus a 'bound' block)")
+
+    p = sub.add_parser(
         "trace", help="trace a bundled app to Chrome JSON, or profile a "
                       "saved .npz trace set")
     p.add_argument("path",
@@ -855,6 +946,7 @@ _COMMANDS = {
     "lint": _cmd_lint,
     "verify": _cmd_verify,
     "chaos": _cmd_chaos,
+    "bound": _cmd_bound,
     "trace": _cmd_trace,
     "stats": _cmd_stats,
 }

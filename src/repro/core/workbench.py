@@ -165,6 +165,37 @@ class Workbench:
                                            n_nodes=self.n_nodes))
         return report
 
+    def bound(self, traces: Union[TraceSet, Sequence[Iterable[Operation]],
+                                  None] = None, *,
+              application: Optional[str] = None, subject: str = ""):
+        """Static performance bounds of one workload — no simulation.
+
+        Computes the task-graph critical path, per-directed-link traffic
+        demand over the configured routing, and LogP-style per-class
+        latency/bandwidth floors for task-level ``traces`` (or a bundled
+        ``application`` name: ``"pingpong"``, ``"alltoall"``,
+        ``"pipeline"``).  Returns a
+        :class:`repro.bounds.BoundReport`; every quantity is a certified
+        lower bound on what a correct simulation can report, which is
+        what the PB0xx cross-check rules lean on.
+        """
+        from ..bounds import compute_bounds
+        if (traces is None) == (application is None):
+            raise ValueError("pass exactly one of traces= or application=")
+        if traces is None:
+            from ..apps import (alltoall_task_traces, pingpong_task_traces,
+                                pipeline_task_traces)
+            apps = {"pingpong": pingpong_task_traces,
+                    "alltoall": alltoall_task_traces,
+                    "pipeline": pipeline_task_traces}
+            if application not in apps:
+                raise ValueError(f"unknown application {application!r}; "
+                                 f"choose from: {', '.join(sorted(apps))}")
+            traces = apps[application](self.n_nodes)
+            subject = subject or f"bounds:{application}:{self.machine.name}"
+        return compute_bounds(self.machine, traces,
+                              subject=subject or f"bounds:{self.machine.name}")
+
     def verify(self, traces: Union[TraceSet, Sequence[Iterable[Operation]],
                                    None] = None, *,
                application: Optional[str] = None, budget: int = 64,

@@ -273,8 +273,12 @@ class ParallelSweepRunner:
                 coords, machine = points[idx]
                 if status == "ok":
                     if self.cache is not None:
+                        # The full config (not just the name) rides along
+                        # so `repro bound --audit` can rebuild the exact
+                        # machine behind any historical row.
                         self.cache.put(key, payload, meta={
-                            "machine": machine.name, "workload_id": wid})
+                            "machine": machine.name, "workload_id": wid,
+                            "machine_config": machine.to_dict()})
                     row = {**coords, **payload}
                 elif on_error == "raise":
                     raise SweepVariantError(coords, error_message(payload))

@@ -226,6 +226,9 @@ class TestCheckExitCodes:
         assert payload["ok"] is True
         assert payload["n_errors"] == 0
         assert isinstance(payload["n_warnings"], int)
+        assert isinstance(payload["rule_families"], dict)
+        for counts in payload["rule_families"].values():
+            assert set(counts) == {"errors", "warnings", "notes"}
         for report in payload["reports"]:
             assert set(report) >= {"subject", "ok", "n_errors",
                                    "n_warnings", "diagnostics"}
@@ -274,6 +277,8 @@ class TestLintExitCodes:
         assert payload["ok"] is True
         assert payload["n_errors"] == 0
         assert payload["n_warnings"] >= 1
+        assert payload["rule_families"]["PY"]["warnings"] >= 1
+        assert payload["rule_families"]["PY"]["errors"] == 0
         rules = [d["rule"] for r in payload["reports"]
                  for d in r["diagnostics"]]
         assert "PY020" in rules
@@ -287,6 +292,8 @@ class TestLintExitCodes:
         assert payload["n_errors"] >= 1
         assert payload["n_new"] >= 1
         assert payload["n_stale"] == 0
+        assert sum(c["errors"]
+                   for c in payload["rule_families"].values()) >= 1
 
     def test_baselined_errors_exit_zero(self, capsys, tmp_path):
         baseline = tmp_path / "baseline.json"
@@ -331,6 +338,7 @@ class TestVerifyCommand:
         assert main(["verify", "masterworker", "--budget", "8",
                      "--json"]) == 0
         payload = json.loads(capsys.readouterr().out)
+        assert "rule_families" in payload
         verify = payload["verify"]
         assert verify["ok"] is True
         assert verify["mode"] == "dpor"
@@ -348,3 +356,99 @@ class TestVerifyCommand:
         assert main(["verify", "pingpong", "--budget", "8",
                      "--naive"]) == 0
         assert "(naive)" in capsys.readouterr().out
+
+
+class TestBoundCommand:
+    """Exit codes and JSON schema of `repro bound` (app/npz/audit)."""
+
+    def test_bundled_app_text_output(self, capsys):
+        assert main(["bound", "pingpong"]) == 0
+        out = capsys.readouterr().out
+        assert "critical path" in out
+        assert "cycle lower bound" in out
+        assert "hot links" in out
+
+    def test_json_schema(self, capsys):
+        import json
+        assert main(["bound", "alltoall", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True
+        assert payload["n_errors"] == 0
+        assert "rule_families" in payload
+        bound = payload["bound"]
+        assert bound["cycle_lower_bound"] > 0
+        assert bound["critical_path_cycles"] > 0
+        assert bound["routing_exact"] is True
+        assert bound["converged"] is True
+        assert bound["n_links_loaded"] >= 1
+        assert bound["hot_links"]
+        assert bound["message_classes"]
+
+    def test_overloaded_npz_exits_one(self, capsys, tmp_path):
+        import json
+        from repro.operations.ops import arecv, asend
+        from repro.operations.trace import Trace, TraceSet
+        lists = [[arecv(s) for s in (1, 2, 3) for _ in range(4)],
+                 [asend(8192, 0) for _ in range(4)],
+                 [asend(8192, 0) for _ in range(4)],
+                 [asend(8192, 0) for _ in range(4)]]
+        path = tmp_path / "funnel.npz"
+        TraceSet([Trace(i, ops)
+                  for i, ops in enumerate(lists)]).save(str(path))
+        argv = ["bound", str(path), "--preset", "generic-mesh",
+                "--set", "network.topology.dims=4,1"]
+        assert main(argv) == 1
+        assert "PB002" in capsys.readouterr().out
+        assert main(argv + ["--json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is False
+        assert payload["rule_families"]["PB"]["errors"] >= 1
+
+    def test_audit_warm_cache(self, capsys, tmp_path):
+        import json
+        cache_dir = str(tmp_path)
+        assert main(["sweep", "t805-grid-2x2", "--rounds", "2",
+                     "--axis", "network.link_bandwidth=2,4",
+                     "--cache-dir", cache_dir]) == 0
+        capsys.readouterr()
+        assert main(["bound", "--audit", cache_dir, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True
+        assert payload["audit"]["checked"] == 2
+        assert payload["audit"]["skipped"] == 0
+        one = json.dumps(payload, sort_keys=True)
+        assert main(["bound", "--audit", cache_dir, "--json",
+                     "--workers", "3"]) == 0
+        three = json.dumps(json.loads(capsys.readouterr().out),
+                           sort_keys=True)
+        assert one == three
+
+    def test_audit_rejects_positional_target(self, tmp_path):
+        with pytest.raises(SystemExit, match="drop the"):
+            main(["bound", "pingpong", "--audit", str(tmp_path)])
+
+    def test_audit_missing_dir(self, tmp_path):
+        with pytest.raises(SystemExit, match="no cache directory"):
+            main(["bound", "--audit", str(tmp_path / "nowhere")])
+
+    def test_requires_target_or_audit(self):
+        with pytest.raises(SystemExit, match="bundled app name"):
+            main(["bound"])
+
+    def test_bad_worker_count(self, tmp_path):
+        with pytest.raises(SystemExit, match="workers"):
+            main(["bound", "--audit", str(tmp_path), "--workers", "0"])
+
+    def test_rules_table_lists_pb_rules(self, capsys):
+        assert main(["check", "--rules"]) == 0
+        out = capsys.readouterr().out
+        for rule in ("PB001", "PB002", "PB003"):
+            assert rule in out
+
+    def test_check_bundle_covers_bounds(self, capsys):
+        import json
+        assert main(["check", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        subjects = [r["subject"] for r in payload["reports"]]
+        for app in ("pingpong", "alltoall", "pipeline"):
+            assert f"bounds:{app}:t805-grid-2x2" in subjects
