@@ -32,7 +32,10 @@ Package map (see DESIGN.md for the full inventory):
 * :mod:`repro.apps`       — instrumentation API + reference workloads
 * :mod:`repro.analysis`   — slowdown, timelines, statistics, reports
 * :mod:`repro.core`       — configuration, Workbench facade, experiments
-* :mod:`repro.parallel`   — parallel sweep execution + result caching
+* :mod:`repro.parallel`   — parallel sweep execution, result caching,
+  backend-agnostic job executors
+* :mod:`repro.service`    — async HTTP job server (simulation as a
+  service: ``repro serve`` / ``submit`` / ``status`` / ``fetch``)
 * :mod:`repro.faults`     — deterministic fault injection + reliable transport
 * :mod:`repro.chaos`      — fault-sweep campaigns with SLO verdicts
 * :mod:`repro.check`      — static analyzer (``repro check``) + sanitizer
@@ -65,7 +68,14 @@ from .core.experiment import Sweep, vary_machine
 from .faults import DeliveryFailed, FaultPlan
 from .core.workbench import Workbench
 from .observe import MetricRegistry, Tracer
-from .parallel import ParallelSweepRunner, ResultCache
+from .parallel import (
+    Executor,
+    InProcessExecutor,
+    JobSpec,
+    LocalAsyncExecutor,
+    ParallelSweepRunner,
+    ResultCache,
+)
 from .machines.presets import (
     generic_multicomputer,
     powerpc601_node,
@@ -79,7 +89,8 @@ __all__ = [
     "BusConfig", "CPUConfig", "CacheConfig", "CacheLevelConfig",
     "CampaignSpec", "ChaosResult",
     "CheckError", "DeliveryFailed", "DeterminismSanitizer", "Diagnostic",
-    "FaultPlan", "MachineConfig",
+    "Executor", "FaultPlan", "InProcessExecutor", "JobSpec",
+    "LocalAsyncExecutor", "MachineConfig",
     "MemoryConfig", "MetricRegistry", "NetworkConfig", "NodeConfig",
     "ParallelSweepRunner", "Report", "ResultCache", "Severity", "Sweep",
     "TopologyConfig", "Tracer",

@@ -28,7 +28,14 @@ no-code-needed tasks:
   trace.json``, opens in Perfetto / ``about://tracing``); also still
   profiles (or dumps) a saved ``.npz`` trace set by path;
 * ``stats``       — run a bundled app and print every registered
-  metric (the :class:`~repro.observe.MetricRegistry` snapshot).
+  metric (the :class:`~repro.observe.MetricRegistry` snapshot);
+* ``serve``       — run the async HTTP job server (simulation as a
+  service: sweeps and chaos campaigns as submitted jobs with
+  progress streaming, quotas and priority lanes);
+* ``submit``      — submit a sweep or chaos job to a running server;
+* ``status``      — print a job's deterministic record;
+* ``fetch``       — print a finished job's rows / campaign verdicts
+  (byte-identical to the in-process run of the same request).
 
 Machines are named by preset, with overrides as ``key=value`` pairs
 (e.g. ``--set network.link_bandwidth=8``).
@@ -38,6 +45,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import Callable, Optional, Sequence
 
 from .analysis import (
@@ -291,9 +299,13 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                      workload_id=workload_id,
                      progress=_sweep_progress if args.progress else None,
                      timing=args.timing, faults=_load_faults(args.faults))
+    # Error rows carry the remote traceback for job records; the table
+    # view keeps only the one-line message.
+    shown = [{k: v for k, v in row.items() if k != "traceback"}
+             for row in rows]
     print(format_table(
-        rows, title=f"sweep of {args.preset} "
-                    f"({len(rows)} variants, workers={args.workers}):"))
+        shown, title=f"sweep of {args.preset} "
+                     f"({len(rows)} variants, workers={args.workers}):"))
     if cache is not None:
         print(f"cache: {cache.stats.format()} (dir={args.cache_dir})")
     return 0
@@ -694,6 +706,129 @@ def _cmd_stats(args: argparse.Namespace) -> int:
 # Entry point
 # ---------------------------------------------------------------------------
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .parallel.executor import InProcessExecutor, LocalAsyncExecutor
+    from .service import JobManager, JobScheduler, ResultStore, run_server
+
+    if args.workers is not None and args.workers < 1:
+        raise SystemExit(f"--workers must be >= 1, got {args.workers}")
+    if args.executor == "inprocess":
+        executor = InProcessExecutor(workers=args.workers,
+                                     job_timeout_s=args.job_timeout)
+    else:
+        executor = LocalAsyncExecutor(workers=args.workers,
+                                      job_timeout_s=args.job_timeout)
+    store = ResultStore(args.store) if args.store else None
+    try:
+        scheduler = JobScheduler(tenant_quota=args.tenant_quota,
+                                 starvation_bound=args.starvation_bound)
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+    manager = JobManager(executor=executor, store=store,
+                         scheduler=scheduler)
+
+    def announce(url: str) -> None:
+        # Parsed by clients discovering an ephemeral --port 0 bind.
+        print(f"repro service listening on {url}", flush=True)
+
+    run_server(manager, args.host, args.port, announce=announce)
+    return 0
+
+
+def _submit_request(args: argparse.Namespace) -> dict:
+    """Build the JSON job request from ``repro submit`` arguments."""
+    import json
+
+    request: dict = {"kind": args.job_kind, "preset": args.preset,
+                     "set": args.set or [], "tenant": args.tenant,
+                     "lane": args.lane}
+    if args.timeout is not None:
+        request["timeout_s"] = args.timeout
+    if args.job_kind == "sweep":
+        request.update({"axes": args.axis, "workload": args.workload,
+                        "rounds": args.rounds, "seed": args.seed,
+                        "on_error": args.on_error, "timing": args.timing})
+        if args.faults:
+            try:
+                request["faults"] = json.loads(
+                    Path(args.faults).read_text())
+            except (OSError, ValueError) as exc:
+                raise SystemExit(f"cannot read fault plan "
+                                 f"{args.faults!r}: {exc}")
+    else:
+        try:
+            request["campaign"] = json.loads(
+                Path(args.campaign).read_text())
+        except (OSError, ValueError) as exc:
+            raise SystemExit(f"cannot read campaign spec "
+                             f"{args.campaign!r}: {exc}")
+        request.update({"app": args.app, "size": args.size,
+                        "repeats": args.repeats, "workers": args.workers})
+    return request
+
+
+def _service_client(args: argparse.Namespace):
+    from .service import ServiceClient
+    return ServiceClient(args.server)
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    import json
+
+    from .service import ServiceError
+
+    client = _service_client(args)
+    request = _submit_request(args)
+    try:
+        record = client.submit(request)
+        if args.wait:
+            record = client.wait(record["id"], poll_s=args.poll)
+    except ServiceError as exc:
+        raise SystemExit(f"service error ({exc.status}): {exc.message}")
+    except OSError as exc:
+        raise SystemExit(f"cannot reach {args.server}: {exc}")
+    print(json.dumps(record, indent=2, sort_keys=True))
+    if args.wait and record["state"] != "done":
+        return 1
+    return 0
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    import json
+
+    from .service import ServiceError
+
+    client = _service_client(args)
+    try:
+        record = client.status(args.job)
+    except ServiceError as exc:
+        raise SystemExit(f"service error ({exc.status}): {exc.message}")
+    except OSError as exc:
+        raise SystemExit(f"cannot reach {args.server}: {exc}")
+    print(json.dumps(record, indent=2, sort_keys=True))
+    return 1 if record["state"] == "failed" else 0
+
+
+def _cmd_fetch(args: argparse.Namespace) -> int:
+    import json
+
+    from .service import ServiceError
+
+    client = _service_client(args)
+    try:
+        result = client.result(args.job)
+    except ServiceError as exc:
+        raise SystemExit(f"service error ({exc.status}): {exc.message}")
+    except OSError as exc:
+        raise SystemExit(f"cannot reach {args.server}: {exc}")
+    # Sweep rows / chaos verdicts only, dumped exactly like an
+    # in-process run would dump them — the CI smoke job `cmp`s this.
+    payload = (result.get("rows") if result["kind"] == "sweep"
+               else result.get("campaign"))
+    print(json.dumps(payload, indent=2, sort_keys=True))
+    return 0
+
+
 def _parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -933,6 +1068,91 @@ def _parser() -> argparse.ArgumentParser:
                         "sources to the snapshot")
     p.add_argument("--json", action="store_true",
                    help="machine-readable snapshot on stdout")
+
+    p = sub.add_parser(
+        "serve", help="run the async HTTP job server (simulation as a "
+                      "service)")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8421,
+                   help="TCP port (0 binds an ephemeral port; the "
+                        "chosen one is announced on stdout)")
+    p.add_argument("--workers", type=int, default=None, metavar="N",
+                   help="variant worker processes (default: CPU count)")
+    p.add_argument("--executor", choices=("local", "inprocess"),
+                   default="local",
+                   help="job backend: 'local' = persistent async worker "
+                        "supervisor with crash recovery, 'inprocess' = "
+                        "run jobs synchronously on the dispatch thread")
+    p.add_argument("--store", default=None, metavar="DIR",
+                   help="content-addressed result store (rows + job "
+                        "records); shared with repro sweep --cache-dir")
+    p.add_argument("--tenant-quota", type=int, default=4,
+                   dest="tenant_quota", metavar="N",
+                   help="max active (queued+running) jobs per tenant")
+    p.add_argument("--starvation-bound", type=int, default=8,
+                   dest="starvation_bound", metavar="N",
+                   help="times a queued lane head may be passed over "
+                        "before it runs regardless of priority")
+    p.add_argument("--job-timeout", type=float, default=None,
+                   dest="job_timeout", metavar="SECONDS",
+                   help="default per-job wall-time budget")
+
+    p = sub.add_parser(
+        "submit", help="submit a sweep or chaos job to a running server")
+    kind = p.add_subparsers(dest="job_kind", required=True)
+    for job_kind in ("sweep", "chaos"):
+        k = kind.add_parser(job_kind)
+        if job_kind == "sweep":
+            k.add_argument("preset", choices=sorted(PRESETS))
+            k.add_argument("--axis", action="append", required=True,
+                           metavar="PATH=V1,V2,...",
+                           help="sweep axis (repeatable)")
+            k.add_argument("--workload", default=None,
+                           help="stochastic workload class (default: "
+                                "generic)")
+            k.add_argument("--rounds", type=int, default=2)
+            k.add_argument("--seed", type=int, default=0)
+            k.add_argument("--on-error", choices=("capture", "raise"),
+                           default="capture", dest="on_error")
+            k.add_argument("--timing", action="store_true",
+                           help="add wall_time_s columns "
+                                "(nondeterministic)")
+            k.add_argument("--faults", default=None, metavar="PLAN.json",
+                           help="fault-injection plan file")
+        else:
+            k.add_argument("app", help="bundled app "
+                                       "(pingpong/alltoall/pipeline)")
+            k.add_argument("--campaign", required=True,
+                           metavar="SPEC.json",
+                           help="campaign spec file")
+            k.add_argument("--preset", choices=sorted(PRESETS),
+                           default="t805-grid-2x2")
+            k.add_argument("--size", type=int, default=256)
+            k.add_argument("--repeats", type=int, default=1)
+            k.add_argument("--workers", type=int, default=1,
+                           help="rung workers on the server side")
+        k.add_argument("--set", action="append", metavar="PATH=VALUE",
+                       help="config override")
+        k.add_argument("--server", default="http://127.0.0.1:8421")
+        k.add_argument("--tenant", default="default")
+        k.add_argument("--lane", choices=("high", "normal", "low"),
+                       default="normal")
+        k.add_argument("--timeout", type=float, default=None,
+                       metavar="SECONDS", help="job wall-time budget")
+        k.add_argument("--wait", action="store_true",
+                       help="poll until the job ends; exit 1 unless it "
+                            "finishes 'done'")
+        k.add_argument("--poll", type=float, default=0.2,
+                       metavar="SECONDS", help="--wait poll interval")
+
+    p = sub.add_parser("status", help="print a job's record")
+    p.add_argument("job", help="job id from repro submit")
+    p.add_argument("--server", default="http://127.0.0.1:8421")
+
+    p = sub.add_parser(
+        "fetch", help="print a finished job's rows / campaign verdicts")
+    p.add_argument("job", help="job id from repro submit")
+    p.add_argument("--server", default="http://127.0.0.1:8421")
     return parser
 
 
@@ -949,6 +1169,10 @@ _COMMANDS = {
     "bound": _cmd_bound,
     "trace": _cmd_trace,
     "stats": _cmd_stats,
+    "serve": _cmd_serve,
+    "submit": _cmd_submit,
+    "status": _cmd_status,
+    "fetch": _cmd_fetch,
 }
 
 

@@ -87,7 +87,7 @@ class Sweep:
             cache: Any = None, workload_id: str | None = None,
             on_error: str = "capture", preflight: bool = True,
             progress: Any = None, timing: bool = False,
-            faults: Any = None) -> list[dict]:
+            faults: Any = None, executor: Any = None) -> list[dict]:
         """Run ``runner(machine) -> metrics`` at every point.
 
         Returns one row per point: sweep coordinates merged with the
@@ -138,9 +138,21 @@ class Sweep:
             keys incorporate the plan digest, so faulty rows never
             collide with fault-free ones.  Empty plans are normalized
             away and behave exactly like ``faults=None``.
+        ``executor``
+            a :class:`repro.parallel.Executor` to run the (post-
+            preflight) points as a job on — e.g. a shared
+            :class:`repro.parallel.LocalAsyncExecutor` with crash
+            recovery and job timeouts.  Mutually exclusive with
+            ``workers`` (the executor owns its worker pool); ``cache``
+            falls back to the executor's own cache when ``None``.
+            Rows are byte-identical to the pool path — every backend
+            funnels through the same
+            :func:`repro.parallel.run_cached_sweep` core.
         """
         from ..parallel import (FaultedRunner, ParallelSweepRunner,
                                 ResultCache, SweepVariantError)
+        if executor is not None and workers is not None:
+            raise ValueError("pass either workers= or executor=, not both")
         if faults is not None and isinstance(faults, (list, tuple)):
             from ..faults import as_fault_plan
             rows_all: list[dict] = []
@@ -151,7 +163,8 @@ class Sweep:
                 sub = self.run(runner, workers=workers, cache=cache,
                                workload_id=workload_id, on_error=on_error,
                                preflight=preflight, progress=progress,
-                               timing=timing, faults=plan)
+                               timing=timing, faults=plan,
+                               executor=executor)
                 rows_all.extend({"faults": label, **row} for row in sub)
             return rows_all
         fault_plan = None
@@ -195,11 +208,44 @@ class Sweep:
             def pool_progress(done: int, _pool_total: int, row: dict,
                               ) -> None:
                 progress(done + offset, total, row)
-        pool = ParallelSweepRunner(workers=workers or 1, cache=cache)
-        ran = pool.run(runner, [pt for _, pt in good],
-                       workload_id=workload_id, on_error=on_error,
-                       progress=pool_progress, timing=timing,
-                       faults=fault_plan)
+        if executor is not None:
+            ran = self._run_on_executor(executor, runner,
+                                        [pt for _, pt in good],
+                                        cache=cache, workload_id=workload_id,
+                                        on_error=on_error,
+                                        progress=pool_progress,
+                                        timing=timing, faults=fault_plan)
+        else:
+            pool = ParallelSweepRunner(workers=workers or 1, cache=cache)
+            ran = pool.run(runner, [pt for _, pt in good],
+                           workload_id=workload_id, on_error=on_error,
+                           progress=pool_progress, timing=timing,
+                           faults=fault_plan)
         for (idx, _), row in zip(good, ran):
             rows[idx] = row
         return rows  # type: ignore[return-value]
+
+    @staticmethod
+    def _run_on_executor(executor: Any, runner: Runner,
+                         points: Sequence[tuple[dict, MachineConfig]], *,
+                         cache: Any, workload_id: str | None,
+                         on_error: str, progress: Any, timing: bool,
+                         faults: Any) -> list[dict]:
+        """Run the surviving points as one executor job, blocking."""
+        from ..parallel.executor import JobSpec
+
+        on_event = None
+        if progress is not None:
+            def on_event(event: dict) -> None:
+                if event.get("event") == "progress":
+                    progress(event["done"], event["total"], event["row"])
+        job_id = executor.submit(
+            JobSpec(runner=runner, points=points, workload_id=workload_id,
+                    on_error=on_error, timing=timing, faults=faults,
+                    cache=cache),
+            on_event=on_event)
+        status = executor.wait(job_id)
+        if status.state != "done":
+            raise RuntimeError(
+                f"sweep job {job_id!r} {status.state}: {status.error}")
+        return executor.result(job_id)

@@ -260,9 +260,11 @@ class Workbench:
                       .axis("l1_kib", set_l1, [8, 16, 32])
                       .run(run_node, workers=4, cache="~/.cache/repro"))
 
-        ``Sweep.run`` accepts ``workers=`` (process-pool fan-out) and
-        ``cache=`` (content-addressed result reuse); see
-        :mod:`repro.parallel`.
+        ``Sweep.run`` accepts ``workers=`` (process-pool fan-out),
+        ``cache=`` (content-addressed result reuse), and ``executor=``
+        (a backend-agnostic :class:`repro.parallel.Executor` job
+        backend); see :mod:`repro.parallel`.  The same sweeps can be
+        served over HTTP by :mod:`repro.service` (``repro serve``).
         """
         from .experiment import Sweep
         return Sweep(self.machine, label)

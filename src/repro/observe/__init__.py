@@ -25,8 +25,8 @@ parity suite in ``tests/test_pearl_kernel.py`` pin record-level
 equality across kernels.
 """
 
-from .registry import MetricRegistry
+from .registry import CounterMetric, MetricRegistry
 from .tracer import Tracer, TraceRecord, validate_chrome_trace
 
-__all__ = ["MetricRegistry", "TraceRecord", "Tracer",
+__all__ = ["CounterMetric", "MetricRegistry", "TraceRecord", "Tracer",
            "validate_chrome_trace"]

@@ -20,7 +20,38 @@ from typing import Callable, Iterator, Optional, Union
 from ..pearl.kernel import Simulator
 from ..pearl.monitor import TallyMonitor, TimeWeightedMonitor
 
-__all__ = ["MetricRegistry"]
+__all__ = ["CounterMetric", "MetricRegistry"]
+
+
+class CounterMetric:
+    """A monotonically increasing named counter with a ``summary()``.
+
+    The server-side complement of the simulation monitors: service
+    components (job manager, scheduler) count discrete occurrences —
+    jobs submitted, completed, rejected — and the counter plugs into a
+    :class:`MetricRegistry` like any monitor source.  Thread-safe via
+    the GIL (single ``+=`` on an int under CPython); values are plain
+    ints so snapshots stay JSON-serializable and deterministic.
+    """
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> int:
+        """Add ``amount`` (default 1); returns the new value."""
+        if amount < 0:
+            raise ValueError(f"counter increment must be >= 0, got {amount}")
+        self.value += amount
+        return self.value
+
+    def summary(self) -> dict:
+        return {"name": self.name, "count": self.value}
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<CounterMetric {self.name}={self.value}>"
 
 #: a metric source: a monitor (``summary() -> dict``) or a zero-arg
 #: callable returning a dict of values.
@@ -77,6 +108,12 @@ class MetricRegistry:
         monitor = TallyMonitor(namespace, keep_samples=keep_samples)
         self.register(namespace, monitor)
         return monitor
+
+    def counter(self, namespace: str) -> CounterMetric:
+        """Create and register a :class:`CounterMetric` in one step."""
+        metric = CounterMetric(namespace)
+        self.register(namespace, metric)
+        return metric
 
     def level(self, namespace: str, sim: Simulator, *,
               initial: float = 0.0) -> TimeWeightedMonitor:

@@ -9,7 +9,11 @@ trustworthy:
   process pool; ordered results, per-variant error capture;
 * :class:`ResultCache` — skip variants whose
   ``(machine, workload, code version)`` hash already has a row;
-* :func:`result_key` / :func:`code_version` — the cache key scheme.
+* :func:`result_key` / :func:`code_version` — the cache key scheme;
+* :class:`Executor` / :class:`InProcessExecutor` /
+  :class:`LocalAsyncExecutor` — sweeps as submit/poll/cancel/stream
+  *jobs*, byte-identical rows across backends (the service layer in
+  :mod:`repro.service` builds on these).
 
 Normally reached through ``Sweep.run(runner, workers=..., cache=...)``
 (see :mod:`repro.core.experiment`) or the ``repro sweep`` CLI command.
@@ -22,6 +26,15 @@ from .cache import (
     result_key,
     sources_digest,
 )
+from .executor import (
+    Executor,
+    ExecutorError,
+    InProcessExecutor,
+    JobSpec,
+    JobStatus,
+    LocalAsyncExecutor,
+    TERMINAL_STATES,
+)
 from .runner import (
     FaultedRunner,
     ParallelSweepRunner,
@@ -29,12 +42,16 @@ from .runner import (
     default_workload_id,
     error_message,
     execute_variant,
+    run_cached_sweep,
     run_sharded,
 )
 
 __all__ = [
-    "CacheStats", "FaultedRunner", "ParallelSweepRunner", "ResultCache",
-    "SweepVariantError", "code_version", "default_workload_id",
-    "error_message", "execute_variant", "result_key", "run_sharded",
+    "CacheStats", "Executor", "ExecutorError", "FaultedRunner",
+    "InProcessExecutor", "JobSpec", "JobStatus", "LocalAsyncExecutor",
+    "ParallelSweepRunner", "ResultCache", "SweepVariantError",
+    "TERMINAL_STATES",
+    "code_version", "default_workload_id", "error_message",
+    "execute_variant", "result_key", "run_cached_sweep", "run_sharded",
     "sources_digest",
 ]

@@ -28,16 +28,18 @@ import multiprocessing
 import os
 import pickle
 import time
+import traceback
 from concurrent.futures import BrokenExecutor, Future, ProcessPoolExecutor
-from typing import Any, Callable, Optional, Sequence
+from typing import Any, Callable, Iterable, Iterator, Optional, Sequence
 
 from ..core.config import MachineConfig
 from ..pearl.kernel import kernel_mode
 from .cache import ResultCache
 
 __all__ = ["FaultedRunner", "ParallelSweepRunner", "SweepVariantError",
-           "default_workload_id", "error_message", "execute_variant",
-           "execute_variant_timed", "run_sharded"]
+           "default_workload_id", "error_message", "execute_batch_iter",
+           "execute_variant", "execute_variant_timed", "run_cached_sweep",
+           "run_sharded"]
 
 Runner = Callable[[MachineConfig], dict]
 #: one sweep point: (coordinates, machine variant)
@@ -88,19 +90,23 @@ def execute_variant(runner: Runner, machine: MachineConfig
     """Run one variant, capturing any exception.
 
     Returns ``("ok", metrics)`` or ``("error", payload)`` where the
-    payload is normally the ``"Type: message"`` string.  Exceptions
-    exposing a ``partial_row()`` method (notably
+    payload is a dict ``{"error": "Type: message", "traceback": ...}``
+    carrying the formatted traceback from the worker that raised — the
+    traceback travels back over the pickle boundary as a plain string,
+    so failed-job records stay debuggable from the service side.
+    Exceptions exposing a ``partial_row()`` method (notably
     :class:`repro.faults.DeliveryFailed`, which carries the partial
-    ``CommResult``) yield a *dict* payload ``{"error": message,
-    **partial_row()}`` so the captured row keeps the same metric
-    columns as successful rows — campaign-style reductions never see a
-    ragged schema.  Shared by the serial and parallel paths so both
-    capture failures identically.
+    ``CommResult``) extend the payload with ``partial_row()`` columns
+    so the captured row keeps the same metric columns as successful
+    rows — campaign-style reductions never see a ragged schema.
+    Shared by the serial and parallel paths so both capture failures
+    identically.
     """
     try:
         metrics = runner(machine)
     except Exception as exc:              # noqa: BLE001 - captured by design
         message = f"{type(exc).__name__}: {exc}"
+        payload = {"error": message, "traceback": traceback.format_exc()}
         partial = getattr(exc, "partial_row", None)
         if callable(partial):
             try:
@@ -108,17 +114,18 @@ def execute_variant(runner: Runner, machine: MachineConfig
             except Exception:             # noqa: BLE001 - salvage is best-effort
                 columns = None
             if columns:
-                return "error", {"error": message, **columns}
-        return "error", message
+                payload.update(columns)
+        return "error", payload
     if not isinstance(metrics, dict):
-        return "error", (f"TypeError: runner returned "
-                         f"{type(metrics).__name__}, expected dict")
+        return "error", {"error": (f"TypeError: runner returned "
+                                   f"{type(metrics).__name__}, expected dict")}
     return "ok", metrics
 
 
 def error_message(payload: Any) -> str:
     """The human-readable message of an ``("error", payload)`` outcome
-    (plain string, or the ``"error"`` entry of a structured payload)."""
+    (the ``"error"`` entry of a structured payload, or the payload
+    itself when a legacy caller passed a plain string)."""
     if isinstance(payload, dict):
         return payload["error"]
     return payload
@@ -202,6 +209,141 @@ def run_sharded(fn: Callable[[Any], Any], items: Sequence[Any],
         return _collect(fn(item) for item in items)
 
 
+#: pool *infrastructure* failures that trigger the in-process fallback
+#: (no fork support, unpicklable work, dead workers) — task-level
+#: exceptions never surface through these, execute_variant captures them.
+_POOL_ERRORS = (OSError, ImportError, BrokenExecutor,
+                pickle.PicklingError, AttributeError, TypeError)
+
+
+def execute_batch_iter(runner: Runner, machines: Sequence[MachineConfig], *,
+                       workers: int, timing: bool = False
+                       ) -> Iterator[tuple[str, Any, float]]:
+    """Yield one ``(status, payload, wall)`` outcome per machine, in
+    machine order, incrementally as results resolve.
+
+    The streaming core behind :class:`ParallelSweepRunner` and the
+    in-process :class:`~repro.parallel.executor.InProcessExecutor`:
+    consumers observe outcome *i* as soon as variants ``0..i`` are done
+    rather than after the whole batch, which is what lets job progress
+    stream live over the service API.  Pool infrastructure failures
+    fall back to in-process execution for the variants that have not
+    yielded yet — simulations are pure, so the fallback rows are
+    identical to what the pool would have produced.
+    """
+    task = execute_variant_timed if timing else _execute_untimed
+    n_workers = min(workers, len(machines))
+    if n_workers <= 1:
+        for machine in machines:
+            yield task(runner, machine)
+        return
+    try:
+        pool = ProcessPoolExecutor(max_workers=n_workers,
+                                   mp_context=_mp_context(),
+                                   initializer=_pin_kernel_mode,
+                                   initargs=(kernel_mode(),))
+    except _POOL_ERRORS:  # pragma: no cover - platform-dependent
+        for machine in machines:
+            yield task(runner, machine)
+        return
+    with pool:
+        try:
+            futures: list[Future] = [pool.submit(task, runner, m)
+                                     for m in machines]
+        except _POOL_ERRORS:
+            for machine in machines:
+                yield task(runner, machine)
+            return
+        for idx, future in enumerate(futures):
+            try:
+                outcome = future.result()
+            except _POOL_ERRORS:
+                # The pool died mid-batch: recompute only the variants
+                # that have not been yielded yet.
+                for machine in machines[idx:]:
+                    yield task(runner, machine)
+                return
+            yield outcome
+
+
+ExecuteFn = Callable[..., Iterable[tuple[str, Any, float]]]
+
+
+def run_cached_sweep(execute: ExecuteFn, runner: Runner,
+                     points: Sequence[Point], *,
+                     cache: Optional[ResultCache] = None,
+                     workload_id: Optional[str] = None,
+                     on_error: str = "capture",
+                     progress: Optional[ProgressFn] = None,
+                     timing: bool = False, faults=None) -> list[dict]:
+    """The cache-scan / row-assembly / progress core of every backend.
+
+    ``execute(runner, machines, timing=...)`` supplies the outcomes for
+    the cache misses (any iterable, in machine order — a generator
+    streams progress live).  All executors funnel through this one
+    function, so sweep rows are byte-identical across backends by
+    construction: same cache keys, same row assembly, same progress
+    contract (cache hits first, during the scan, then executed variants
+    in point order — streamed progress reaches 100% even when every row
+    is served from cache).
+    """
+    if on_error not in ("capture", "raise"):
+        raise ValueError(f"on_error must be 'capture' or 'raise', "
+                         f"got {on_error!r}")
+    wid = workload_id or default_workload_id(runner)
+    rows: list[Optional[dict]] = [None] * len(points)
+    done = 0
+
+    pending: list[tuple[int, str]] = []   # (point index, cache key)
+    for idx, (coords, machine) in enumerate(points):
+        key = ""
+        if cache is not None:
+            # `faults` (a normalized FaultPlan or None) extends the
+            # key with the plan digest, so faulty and fault-free
+            # rows of the same variant never collide.
+            key = cache.key_for(machine, wid, faults=faults)
+            cached = cache.get(key)
+            if cached is not None:
+                row = {**coords, **cached}
+                if timing:
+                    row["wall_time_s"] = 0.0
+                rows[idx] = row
+                done += 1
+                if progress is not None:
+                    progress(done, len(points), row)
+                continue
+        pending.append((idx, key))
+
+    if pending:
+        outcomes = execute(runner, [points[i][1] for i, _ in pending],
+                           timing=timing)
+        for (idx, key), (status, payload, wall) in zip(pending, outcomes):
+            coords, machine = points[idx]
+            if status == "ok":
+                if cache is not None:
+                    # The full config (not just the name) rides along
+                    # so `repro bound --audit` can rebuild the exact
+                    # machine behind any historical row.
+                    cache.put(key, payload, meta={
+                        "machine": machine.name, "workload_id": wid,
+                        "machine_config": machine.to_dict()})
+                row = {**coords, **payload}
+            elif on_error == "raise":
+                raise SweepVariantError(coords, error_message(payload))
+            else:
+                # The structured payload carries the "error" key, the
+                # remote traceback, plus any partial metric columns.
+                row = ({**coords, **payload} if isinstance(payload, dict)
+                       else {**coords, "error": payload})
+            if timing:
+                row["wall_time_s"] = wall
+            rows[idx] = row
+            done += 1
+            if progress is not None:
+                progress(done, len(points), row)
+    return rows  # type: ignore[return-value]
+
+
 class ParallelSweepRunner:
     """Fan a sweep's points out over worker processes, with caching.
 
@@ -237,87 +379,23 @@ class ParallelSweepRunner:
         every executed row (cache hits report ``0.0``); it is opt-in
         because wall time is nondeterministic and would break row
         equality between runs.  Wall times never enter the cache.
+
+        Delegates to :func:`run_cached_sweep` over
+        :func:`execute_batch_iter`, the same core every
+        :class:`~repro.parallel.executor.Executor` backend uses — rows
+        are byte-identical across all of them by construction.
         """
-        if on_error not in ("capture", "raise"):
-            raise ValueError(f"on_error must be 'capture' or 'raise', "
-                             f"got {on_error!r}")
-        wid = workload_id or default_workload_id(runner)
-        rows: list[Optional[dict]] = [None] * len(points)
-        done = 0
+        return run_cached_sweep(self._execute_iter, runner, points,
+                                cache=self.cache, workload_id=workload_id,
+                                on_error=on_error, progress=progress,
+                                timing=timing, faults=faults)
 
-        pending: list[tuple[int, str]] = []   # (point index, cache key)
-        for idx, (coords, machine) in enumerate(points):
-            key = ""
-            if self.cache is not None:
-                # `faults` (a normalized FaultPlan or None) extends the
-                # key with the plan digest, so faulty and fault-free
-                # rows of the same variant never collide.
-                key = self.cache.key_for(machine, wid, faults=faults)
-                cached = self.cache.get(key)
-                if cached is not None:
-                    row = {**coords, **cached}
-                    if timing:
-                        row["wall_time_s"] = 0.0
-                    rows[idx] = row
-                    done += 1
-                    if progress is not None:
-                        progress(done, len(points), row)
-                    continue
-            pending.append((idx, key))
-
-        if pending:
-            outcomes = self._execute(runner, [points[i][1]
-                                              for i, _ in pending],
-                                     timing=timing)
-            for (idx, key), (status, payload, wall) in zip(pending, outcomes):
-                coords, machine = points[idx]
-                if status == "ok":
-                    if self.cache is not None:
-                        # The full config (not just the name) rides along
-                        # so `repro bound --audit` can rebuild the exact
-                        # machine behind any historical row.
-                        self.cache.put(key, payload, meta={
-                            "machine": machine.name, "workload_id": wid,
-                            "machine_config": machine.to_dict()})
-                    row = {**coords, **payload}
-                elif on_error == "raise":
-                    raise SweepVariantError(coords, error_message(payload))
-                else:
-                    # A structured payload already carries the "error"
-                    # key plus the partial metric columns.
-                    row = ({**coords, **payload} if isinstance(payload, dict)
-                           else {**coords, "error": payload})
-                if timing:
-                    row["wall_time_s"] = wall
-                rows[idx] = row
-                done += 1
-                if progress is not None:
-                    progress(done, len(points), row)
-        return rows  # type: ignore[return-value]
-
-    def _execute(self, runner: Runner,
-                 machines: Sequence[MachineConfig], *,
-                 timing: bool = False) -> list[tuple[str, Any, float]]:
-        task = execute_variant_timed if timing else _execute_untimed
-        n_workers = min(self.workers, len(machines))
-        if n_workers <= 1:
-            return [task(runner, m) for m in machines]
-        try:
-            with ProcessPoolExecutor(max_workers=n_workers,
-                                     mp_context=_mp_context(),
-                                     initializer=_pin_kernel_mode,
-                                     initargs=(kernel_mode(),)) as pool:
-                futures: list[Future] = [
-                    pool.submit(task, runner, m)
-                    for m in machines]
-                return [f.result() for f in futures]
-        except (OSError, ImportError, BrokenExecutor,
-                pickle.PicklingError, AttributeError, TypeError):
-            # Pool infrastructure failed (no fork support, unpicklable
-            # runner, dead workers) — runner exceptions never surface
-            # here, execute_variant captures them.  Simulations are
-            # pure, so falling back to in-process execution is safe.
-            return [task(runner, m) for m in machines]
+    def _execute_iter(self, runner: Runner,
+                      machines: Sequence[MachineConfig], *,
+                      timing: bool = False
+                      ) -> Iterator[tuple[str, Any, float]]:
+        return execute_batch_iter(runner, machines, workers=self.workers,
+                                  timing=timing)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (f"<ParallelSweepRunner workers={self.workers} "

@@ -1,0 +1,583 @@
+"""Job records, content-addressed result store, and the job manager.
+
+The service's contract is *deterministic job records*: a job is the
+canonical JSON of its request, its identity is the sha256 of that JSON
+plus the :func:`~repro.parallel.cache.code_version` (so the same study
+re-submitted against changed simulator code is a different job), and
+every serialized record excludes wall-clock fields — two runs of the
+same request produce byte-identical records modulo the run-scoped
+sequence suffix.  Sweep jobs run on a
+:class:`~repro.parallel.executor.Executor`; chaos jobs run through
+:func:`~repro.chaos.run_campaign`.  Both reuse the CLI's machine
+building and runner (same workload-id scheme), so rows fetched over
+HTTP are byte-identical to ``repro sweep`` / in-process ``Sweep.run``
+output and share the same :class:`~repro.parallel.ResultCache`
+entries.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+import os
+import threading
+import time
+from functools import partial
+from pathlib import Path
+from typing import Any, Optional
+
+from ..observe import MetricRegistry
+from ..parallel import FaultedRunner, ResultCache
+from ..parallel.executor import (TERMINAL_STATES, Executor, ExecutorError,
+                                 JobSpec, LocalAsyncExecutor)
+from .scheduler import JobScheduler, QuotaExceeded
+
+__all__ = ["JobManager", "JobRecord", "ResultStore", "ServiceError",
+           "canonical_request", "job_key"]
+
+
+class ServiceError(RuntimeError):
+    """A request the service rejects; carries the HTTP status to use."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+class _Cancelled(Exception):
+    """Internal: a cancel request reached a running chaos job."""
+
+
+class _TimedOut(Exception):
+    """Internal: a running chaos job exceeded its time budget."""
+
+
+# -- request canonicalization ----------------------------------------------
+
+#: request fields, with defaults; ``...`` marks required fields.
+_SWEEP_FIELDS: dict[str, Any] = {
+    "kind": "sweep", "preset": ..., "axes": ..., "set": [],
+    "workload": None, "rounds": 2, "seed": 0, "on_error": "capture",
+    "timing": False, "faults": None, "timeout_s": None,
+    "tenant": "default", "lane": "normal",
+}
+_CHAOS_FIELDS: dict[str, Any] = {
+    "kind": "chaos", "preset": ..., "app": ..., "campaign": ...,
+    "set": [], "size": 256, "repeats": 1, "workers": 1,
+    "timeout_s": None, "tenant": "default", "lane": "normal",
+}
+
+
+def canonical_request(request: Any) -> dict:
+    """Validate a job request and fill defaults; deterministic output.
+
+    Raises :class:`ServiceError` (status 400) on anything malformed:
+    unknown ``kind``, unknown fields, missing required fields.  Deep
+    validation (presets, axes, campaign specs) happens when the job is
+    planned — also at submission time.
+    """
+    if not isinstance(request, dict):
+        raise ServiceError(400, f"request must be a JSON object, "
+                                f"got {type(request).__name__}")
+    kind = request.get("kind")
+    if kind == "sweep":
+        fields = _SWEEP_FIELDS
+    elif kind == "chaos":
+        fields = _CHAOS_FIELDS
+    else:
+        raise ServiceError(400, f"unknown job kind {kind!r}; "
+                                f"expected 'sweep' or 'chaos'")
+    unknown = sorted(set(request) - set(fields))
+    if unknown:
+        raise ServiceError(400, f"unknown request fields: "
+                                + ", ".join(unknown))
+    canon = {}
+    for name in sorted(fields):
+        if name in request:
+            canon[name] = request[name]
+        elif fields[name] is ...:
+            raise ServiceError(400, f"missing required field {name!r}")
+        else:
+            canon[name] = fields[name]
+    return canon
+
+
+def job_key(request: dict) -> str:
+    """Content address of a canonical request: sha256 over the request
+    JSON plus the simulator code version."""
+    from ..parallel.cache import code_version
+    blob = json.dumps({"request": request, "code": code_version()},
+                      sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+# -- job planning ----------------------------------------------------------
+
+
+def _plan_sweep(request: dict) -> dict:
+    """Turn a canonical sweep request into runnable pieces.
+
+    Reuses the CLI's preset/override/axis machinery and its
+    ``_sweep_point_runner`` + workload-id scheme, so service rows are
+    byte-identical to ``repro sweep`` output and share cache entries
+    with it.
+    """
+    from ..cli import (_AxisSetter, _parse_value, _resolve_path,
+                       _split_spec, _sweep_point_runner, build_machine)
+    from ..core.experiment import Sweep
+    from ..faults import as_fault_plan
+
+    try:
+        machine = build_machine(request["preset"], request["set"] or ())
+        sweep = Sweep(machine, label=request["preset"])
+        axes = request["axes"]
+        if not isinstance(axes, (list, tuple)) or not axes:
+            raise ServiceError(400, "axes must be a non-empty list of "
+                                    "'dotted.path=v1,v2' strings")
+        for spec in axes:
+            path, raw = _split_spec(spec)
+            target, leaf = _resolve_path(machine, path)
+            current = getattr(target, leaf)
+            values = [_parse_value(current, v) for v in raw.split(",")]
+            sweep.axis(path, _AxisSetter(path), values)
+        points = sweep.points()
+        plan = as_fault_plan(request["faults"])
+    except ServiceError:
+        raise
+    except (SystemExit, Exception) as exc:  # noqa: BLE001 - request boundary
+        raise ServiceError(400, f"bad sweep request: {exc}") from None
+    runner: Any = partial(_sweep_point_runner, workload=request["workload"],
+                          rounds=request["rounds"], seed=request["seed"])
+    if plan is not None:
+        runner = FaultedRunner(runner, plan)
+    workload_id = (f"cli-stochastic:{request['workload'] or 'generic'}"
+                   f":rounds={request['rounds']}:seed={request['seed']}")
+    return {"runner": runner, "points": points, "faults": plan,
+            "workload_id": workload_id, "total": len(points)}
+
+
+def _plan_chaos(request: dict) -> dict:
+    """Turn a canonical chaos request into runnable pieces."""
+    from ..chaos import AppCampaignRunner
+    from ..chaos.spec import as_campaign_spec
+    from ..cli import build_machine
+    from ..topology import build_topology
+
+    try:
+        machine = build_machine(request["preset"], request["set"] or ())
+        spec = as_campaign_spec(request["campaign"])
+        runner = AppCampaignRunner(request["app"], size=request["size"],
+                                   repeats=request["repeats"])
+        if not isinstance(request["workers"], int) or request["workers"] < 1:
+            raise ServiceError(400, "workers must be an int >= 1")
+        total = len(spec.rungs(build_topology(machine.network.topology)))
+    except ServiceError:
+        raise
+    except (SystemExit, Exception) as exc:  # noqa: BLE001 - request boundary
+        raise ServiceError(400, f"bad chaos request: {exc}") from None
+    return {"machine": machine, "spec": spec, "runner": runner,
+            "workers": request["workers"], "total": total}
+
+
+# -- job record ------------------------------------------------------------
+
+
+class JobRecord:
+    """One job's deterministic, wall-clock-free state.
+
+    States: ``submitted → running → done | failed | cancelled``.
+    ``to_dict()`` has fixed field order and no timestamps; progress
+    events mirror the executor's (``state`` events bracket one
+    ``progress`` event per row).
+    """
+
+    def __init__(self, job_id: str, key: str, request: dict) -> None:
+        self.job_id = job_id
+        self.key = key
+        self.request = request
+        self.state = "submitted"
+        self.done = 0
+        self.total = 0
+        self.error: Optional[str] = None
+        self.cache = {"hits": 0, "misses": 0, "stores": 0}
+        self.rows: Optional[list[dict]] = None
+        self.campaign: Optional[dict] = None
+        self.events: list[dict] = []
+        self.cancel_requested = False
+        self.cond = threading.Condition()
+        self.plan: dict = {}
+
+    # -- mutation (manager-side) --------------------------------------
+
+    def emit(self, event: dict) -> None:
+        with self.cond:
+            self.events.append(event)
+            self.cond.notify_all()
+
+    def set_state(self, state: str, error: Optional[str] = None) -> None:
+        with self.cond:
+            self.state = state
+            self.error = error
+            self.cond.notify_all()
+        event = {"event": "state", "state": state}
+        if error is not None:
+            event["error"] = error
+        self.emit(event)
+
+    def note_progress(self, done: int, total: int, row: dict) -> None:
+        with self.cond:
+            self.done = done
+            self.total = total
+        self.emit({"event": "progress", "done": done, "total": total,
+                   "row": row})
+
+    # -- observation ---------------------------------------------------
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in TERMINAL_STATES
+
+    def to_dict(self) -> dict:
+        """Deterministic record: fixed field order, no wall-clock."""
+        with self.cond:
+            return {
+                "id": self.job_id,
+                "key": self.key,
+                "kind": self.request["kind"],
+                "tenant": self.request["tenant"],
+                "lane": self.request["lane"],
+                "state": self.state,
+                "done": self.done,
+                "total": self.total,
+                "error": self.error,
+                "cache": dict(self.cache),
+                "request": dict(self.request),
+            }
+
+    def result_payload(self) -> dict:
+        """The finished job's result document (404/409 handled by the
+        caller via :attr:`state`)."""
+        with self.cond:
+            payload = {"id": self.job_id, "kind": self.request["kind"],
+                       "state": self.state}
+            if self.rows is not None:
+                payload["rows"] = self.rows
+            if self.campaign is not None:
+                payload["campaign"] = self.campaign
+            return payload
+
+    def events_since(self, start: int) -> tuple[list[dict], bool]:
+        """Events from index ``start`` on, plus whether the job ended
+        (polling contract for the NDJSON stream)."""
+        with self.cond:
+            return list(self.events[start:]), self.terminal
+
+    def wait(self, timeout: Optional[float] = None) -> str:
+        """Block until terminal (or timeout); returns the state."""
+        deadline = (None if timeout is None
+                    else time.monotonic() + timeout)  # repro: noqa[PY002]
+        with self.cond:
+            while not self.terminal:
+                if deadline is None:
+                    self.cond.wait(0.5)
+                    continue
+                left = deadline - time.monotonic()  # repro: noqa[PY002]
+                if left <= 0:
+                    break
+                self.cond.wait(left)
+            return self.state
+
+
+# -- result store ----------------------------------------------------------
+
+
+class ResultStore:
+    """Content-addressed persistence: variant rows + job records.
+
+    Promotes the sweep :class:`~repro.parallel.ResultCache` to the
+    service's row store (``<root>/rows/``, shared with CLI and
+    in-process runs — warm re-submissions hit it) and adds a job-record
+    store (``<root>/jobs/<key[:2]>/<key>.json``) addressed by
+    :func:`job_key`, so re-submitting the same request against the same
+    code version lands on the same record path.
+    """
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self.cache = ResultCache(str(self.root / "rows"))
+        self._jobs_dir = self.root / "jobs"
+
+    def _job_path(self, key: str) -> Path:
+        return self._jobs_dir / key[:2] / f"{key}.json"
+
+    def put_job(self, record: JobRecord) -> Path:
+        """Persist a finished job's record + result atomically."""
+        path = self._job_path(record.key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {"record": record.to_dict(),
+                   "result": record.result_payload()}
+        tmp = path.with_suffix(".tmp")
+        tmp.write_text(json.dumps(payload, sort_keys=True, indent=1))
+        os.replace(tmp, path)
+        return path
+
+    def get_job(self, key: str) -> Optional[dict]:
+        path = self._job_path(key)
+        if not path.exists():
+            return None
+        return json.loads(path.read_text())
+
+    def job_count(self) -> int:
+        if not self._jobs_dir.exists():
+            return 0
+        return sum(1 for _ in self._jobs_dir.glob("*/*.json"))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<ResultStore {str(self.root)!r}>"
+
+
+# -- job manager -----------------------------------------------------------
+
+
+class JobManager:
+    """Admit, schedule, run and record jobs.
+
+    One dispatch thread pulls job ids off the
+    :class:`~repro.service.scheduler.JobScheduler` (quotas and lanes
+    enforced at submission) and runs them: sweep jobs on the
+    :class:`~repro.parallel.executor.Executor`, chaos campaigns via
+    :func:`~repro.chaos.run_campaign` — both report progress into the
+    job record, honor cooperative cancellation, and land in the
+    :class:`ResultStore` when done.  ``service.*`` metrics live in a
+    :class:`~repro.observe.MetricRegistry` for the ``/v1/metrics``
+    endpoint.
+    """
+
+    def __init__(self, executor: Optional[Executor] = None,
+                 store: Optional[ResultStore] = None,
+                 scheduler: Optional[JobScheduler] = None,
+                 registry: Optional[MetricRegistry] = None,
+                 autostart: bool = True) -> None:
+        self.executor = executor if executor is not None \
+            else LocalAsyncExecutor()
+        self.store = store
+        self.scheduler = scheduler if scheduler is not None \
+            else JobScheduler()
+        self.registry = registry if registry is not None \
+            else MetricRegistry()
+        self._records: dict[str, JobRecord] = {}
+        self._lock = threading.Lock()
+        self._seq = itertools.count(1)
+        self._stop = False
+        self._thread: Optional[threading.Thread] = None
+        self._counters = {
+            name: self.registry.counter(f"service.jobs.{name}")
+            for name in ("submitted", "completed", "failed",
+                         "cancelled", "rejected")}
+        self.registry.register("service.scheduler", self.scheduler.snapshot)
+        self.registry.register("service.records", self._records_summary)
+        if autostart:
+            self.start()
+
+    def _records_summary(self) -> dict:
+        with self._lock:
+            records = list(self._records.values())
+        return {"total": len(records),
+                "active": sum(1 for r in records if not r.terminal)}
+
+    # -- lifecycle -----------------------------------------------------
+
+    def start(self) -> None:
+        """Start the dispatch thread (idempotent)."""
+        if self._thread is not None:
+            return
+        self._thread = threading.Thread(target=self._dispatch_loop,
+                                        name="repro-service-dispatch",
+                                        daemon=True)
+        self._thread.start()
+
+    def close(self) -> None:
+        self._stop = True
+        if self._thread is not None:
+            self._thread.join(timeout=60.0)
+            self._thread = None
+        self.executor.close()
+
+    # -- API surface ---------------------------------------------------
+
+    def submit(self, request: Any) -> JobRecord:
+        """Admit one job; raises :class:`ServiceError` 400 on malformed
+        requests and 429 on quota rejection."""
+        canon = canonical_request(request)
+        key = job_key(canon)
+        plan = (_plan_sweep if canon["kind"] == "sweep"
+                else _plan_chaos)(canon)
+        with self._lock:
+            job_id = f"{key[:12]}-{next(self._seq)}"
+            record = JobRecord(job_id, key, canon)
+            record.plan = plan
+            record.total = plan["total"]
+            # Emit "submitted" before the scheduler can hand the job to
+            # the dispatcher, so event order is stable.
+            record.set_state("submitted")
+            try:
+                self.scheduler.submit(job_id, tenant=canon["tenant"],
+                                      lane=canon["lane"])
+            except QuotaExceeded as exc:
+                self._counters["rejected"].inc()
+                raise ServiceError(429, str(exc)) from None
+            except ValueError as exc:
+                self._counters["rejected"].inc()
+                raise ServiceError(400, str(exc)) from None
+            self._records[job_id] = record
+            self._counters["submitted"].inc()
+        return record
+
+    def record(self, job_id: str) -> JobRecord:
+        with self._lock:
+            record = self._records.get(job_id)
+        if record is None:
+            raise ServiceError(404, f"unknown job {job_id!r}")
+        return record
+
+    def list_jobs(self) -> list[dict]:
+        with self._lock:
+            records = list(self._records.values())
+        return [r.to_dict() for r in records]
+
+    def cancel(self, job_id: str) -> bool:
+        """Cancel a job; ``False`` when it already ended."""
+        record = self.record(job_id)
+        with record.cond:
+            if record.terminal:
+                return False
+            record.cancel_requested = True
+        if self.scheduler.cancel(job_id):
+            # Still queued: it will never be acquired — finalize here.
+            record.set_state("cancelled")
+            self._counters["cancelled"].inc()
+            return True
+        try:
+            # Running sweep: forward to the executor (record ids double
+            # as executor job ids).  Chaos jobs and not-yet-submitted
+            # sweeps notice the record flag at the next row boundary.
+            self.executor.cancel(job_id)
+        except ExecutorError:
+            pass
+        return True
+
+    def metrics(self) -> dict:
+        """Flat ``service.*`` metric snapshot."""
+        return self.registry.snapshot()
+
+    # -- dispatch ------------------------------------------------------
+
+    def _dispatch_loop(self) -> None:
+        while not self._stop:
+            job_id = self.scheduler.acquire(timeout=0.1)
+            if job_id is None:
+                continue
+            record = self.record(job_id)
+            try:
+                self._run(record)
+            finally:
+                self.scheduler.release(job_id)
+
+    def _finish(self, record: JobRecord, state: str,
+                error: Optional[str] = None) -> None:
+        record.set_state(state, error)
+        counter = {"done": "completed", "failed": "failed",
+                   "cancelled": "cancelled"}[state]
+        self._counters[counter].inc()
+        if state == "done" and self.store is not None:
+            self.store.put_job(record)
+
+    def _run(self, record: JobRecord) -> None:
+        if record.cancel_requested:
+            self._finish(record, "cancelled")
+            return
+        record.set_state("running")
+        try:
+            if record.request["kind"] == "sweep":
+                self._run_sweep(record)
+            else:
+                self._run_chaos(record)
+        except Exception as exc:  # noqa: BLE001 - dispatch must survive
+            self._finish(record, "failed", f"{type(exc).__name__}: {exc}")
+
+    def _run_sweep(self, record: JobRecord) -> None:
+        plan = record.plan
+        spec = JobSpec(
+            runner=plan["runner"], points=plan["points"],
+            workload_id=plan["workload_id"],
+            on_error=record.request["on_error"],
+            timing=record.request["timing"], faults=plan["faults"],
+            cache=self.store.cache if self.store is not None else None,
+            timeout_s=record.request["timeout_s"])
+
+        def absorb(event: dict) -> None:
+            # The executor emits its own state events; the record owns
+            # job-level state, so only progress flows through.
+            if event.get("event") != "progress":
+                return
+            if record.cancel_requested:
+                try:
+                    self.executor.cancel(record.job_id)
+                except ExecutorError:  # pragma: no cover - tiny race
+                    pass
+            record.note_progress(event["done"], event["total"],
+                                 event["row"])
+
+        self.executor.submit(spec, job_id=record.job_id, on_event=absorb)
+        status = self.executor.wait(record.job_id)
+        with record.cond:
+            record.cache = dict(status.cache)
+        if status.state == "done":
+            record.rows = self.executor.result(record.job_id)
+            self._finish(record, "done")
+        elif status.state == "cancelled":
+            self._finish(record, "cancelled")
+        else:
+            self._finish(record, "failed", status.error)
+
+    def _run_chaos(self, record: JobRecord) -> None:
+        from ..chaos import run_campaign
+        from ..core.config import ConfigError
+
+        plan = record.plan
+        timeout = record.request["timeout_s"]
+        # Job deadlines are host-side wall time by definition.
+        deadline = (None if timeout is None
+                    else time.monotonic() + timeout)  # repro: noqa[PY002]
+        cache = self.store.cache if self.store is not None else None
+
+        def progress(done: int, total: int, row: dict) -> None:
+            if record.cancel_requested:
+                raise _Cancelled(record.job_id)
+            if deadline is not None \
+                    and time.monotonic() > deadline:  # repro: noqa[PY002]
+                raise _TimedOut(
+                    f"JobTimeout: job exceeded its {timeout}s budget")
+            record.note_progress(done, total, row)
+
+        try:
+            result = run_campaign(plan["spec"], plan["machine"],
+                                  plan["runner"], workers=plan["workers"],
+                                  cache=cache, progress=progress)
+        except _Cancelled:
+            self._finish(record, "cancelled")
+            return
+        except _TimedOut as exc:
+            self._finish(record, "failed", str(exc))
+            return
+        except ConfigError as exc:
+            self._finish(record, "failed", f"ConfigError: {exc}")
+            return
+        record.campaign = result.to_dict()
+        if result.cache_stats is not None:
+            with record.cond:
+                record.cache = {k: result.cache_stats.get(k, 0)
+                                for k in ("hits", "misses", "stores")}
+        self._finish(record, "done")

@@ -1,0 +1,308 @@
+"""Executor conformance (repro.parallel.executor).
+
+Both backends — :class:`InProcessExecutor` (pool path, synchronous
+submit) and :class:`LocalAsyncExecutor` (persistent worker supervisor,
+async submit) — must be *observably identical* for well-behaved jobs:
+same rows (byte-for-byte, matching a direct ``Sweep.run``), same row
+ordering, same error rows with the same remote tracebacks, same cache
+cold/warm behavior, same event sequences.  The suite parameterizes
+every shared contract over both backends, then pins the
+LocalAsync-only durability features (crash recovery, crash budget,
+job timeouts, mid-job cancel) separately.
+
+Everything that crosses a process boundary lives at module level
+(picklable), matching ``tests/test_parallel_sweep.py``.
+"""
+
+from __future__ import annotations
+
+import functools
+import json
+import os
+import time
+
+import pytest
+
+from repro import (
+    InProcessExecutor,
+    JobSpec,
+    LocalAsyncExecutor,
+    ResultCache,
+)
+from repro.parallel import TERMINAL_STATES
+from repro.parallel.executor import ExecutorError
+from tests.test_parallel_sweep import (
+    bw_sweep,
+    echo_runner,
+    failing_runner,
+)
+
+
+# ---------------------------------------------------------------------------
+# Module-level runners (picklable for the worker processes)
+# ---------------------------------------------------------------------------
+
+def crash_once_runner(machine, flag_dir):
+    """Kill the hosting process the first time each variant is seen."""
+    bw = machine.network.link_bandwidth
+    flag = os.path.join(flag_dir, f"seen-{bw}")
+    if not os.path.exists(flag):
+        open(flag, "w").close()
+        os._exit(41)
+    return {"bw_out": bw}
+
+
+def always_crash_runner(machine):
+    os._exit(43)
+
+
+def slow_runner(machine):
+    time.sleep(0.25)  # repro: noqa[PY002] - host-side stall, not sim time
+    return {"bw_out": machine.network.link_bandwidth}
+
+
+# ---------------------------------------------------------------------------
+# Backend parameterization
+# ---------------------------------------------------------------------------
+
+BACKENDS = {
+    "inprocess": functools.partial(InProcessExecutor, workers=2),
+    "localasync": functools.partial(LocalAsyncExecutor, workers=2),
+}
+
+
+@pytest.fixture(params=sorted(BACKENDS), ids=sorted(BACKENDS))
+def make_executor(request):
+    """A factory building the parameterized backend; closes them all."""
+    opened = []
+
+    def make(**kwargs):
+        executor = BACKENDS[request.param](**kwargs)
+        opened.append(executor)
+        return executor
+
+    yield make
+    for executor in opened:
+        executor.close()
+
+
+def run_job(executor, spec, **submit_kwargs):
+    job_id = executor.submit(spec, **submit_kwargs)
+    status = executor.wait(job_id, timeout=120.0)
+    return job_id, status
+
+
+# ---------------------------------------------------------------------------
+# Shared contracts (both backends)
+# ---------------------------------------------------------------------------
+
+class TestRowConformance:
+    def test_rows_byte_identical_to_direct_sweep_run(self, make_executor):
+        direct = bw_sweep().run(echo_runner)
+        executor = make_executor()
+        job_id, status = run_job(executor, JobSpec(
+            runner=echo_runner, points=bw_sweep().points()))
+        assert status.state == "done"
+        rows = executor.result(job_id)
+        assert json.dumps(rows, sort_keys=True) == \
+            json.dumps(direct, sort_keys=True)
+
+    def test_rows_come_back_in_point_order(self, make_executor):
+        values = [8.0, 1.0, 4.0, 2.0]   # deliberately unsorted
+        executor = make_executor()
+        job_id, status = run_job(executor, JobSpec(
+            runner=echo_runner, points=bw_sweep(values).points()))
+        assert status.state == "done"
+        rows = executor.result(job_id)
+        assert [row["bw"] for row in rows] == values
+        assert [row["bw_out"] for row in rows] == values
+
+    def test_sweep_run_executor_kwarg(self, make_executor):
+        executor = make_executor()
+        direct = bw_sweep().run(echo_runner)
+        via_executor = bw_sweep().run(echo_runner, executor=executor)
+        assert via_executor == direct
+        with pytest.raises(ValueError, match="not both"):
+            bw_sweep().run(echo_runner, workers=2, executor=executor)
+
+    def test_error_rows_match_serial_including_traceback(self,
+                                                         make_executor):
+        serial = bw_sweep([1.0, 2.0, 4.0]).run(failing_runner)
+        executor = make_executor()
+        job_id, status = run_job(executor, JobSpec(
+            runner=failing_runner, points=bw_sweep([1.0, 2.0, 4.0]).points()))
+        assert status.state == "done"
+        rows = executor.result(job_id)
+        assert rows == serial
+        bad = rows[1]
+        assert bad["error"].startswith("ValueError: bandwidth 2.0 is cursed")
+        assert "failing_runner" in bad["traceback"]
+
+
+class TestCacheConformance:
+    def test_cold_then_warm_job_cache_stats(self, make_executor, tmp_path):
+        cache = ResultCache(tmp_path)
+        executor = make_executor()
+        spec = JobSpec(runner=echo_runner, points=bw_sweep().points(),
+                       cache=cache)
+        _, cold = run_job(executor, spec)
+        assert cold.state == "done"
+        assert cold.cache == {"hits": 0, "misses": 4, "stores": 4}
+        warm_spec = JobSpec(runner=echo_runner, points=bw_sweep().points(),
+                            cache=cache)
+        warm_id, warm = run_job(executor, warm_spec)
+        assert warm.cache == {"hits": 4, "misses": 0, "stores": 0}
+        assert executor.result(warm_id) == bw_sweep().run(echo_runner)
+
+    def test_executor_default_cache_used_when_spec_cache_none(
+            self, make_executor, tmp_path):
+        # Regression: an *empty* ResultCache is falsy (defines __len__),
+        # so `spec.cache or self.cache` used to discard it silently.
+        executor = make_executor(cache=ResultCache(tmp_path))
+        spec = JobSpec(runner=echo_runner, points=bw_sweep().points())
+        _, cold = run_job(executor, spec)
+        assert cold.cache == {"hits": 0, "misses": 4, "stores": 4}
+        _, warm = run_job(executor, JobSpec(
+            runner=echo_runner, points=bw_sweep().points()))
+        assert warm.cache == {"hits": 4, "misses": 0, "stores": 0}
+
+    def test_warm_job_still_streams_progress_to_100_percent(
+            self, make_executor, tmp_path):
+        cache = ResultCache(tmp_path)
+        executor = make_executor()
+        run_job(executor, JobSpec(runner=echo_runner,
+                                  points=bw_sweep().points(), cache=cache))
+        events = []
+        warm_id, warm = run_job(
+            executor,
+            JobSpec(runner=echo_runner, points=bw_sweep().points(),
+                    cache=cache),
+            on_event=events.append)
+        assert warm.state == "done"
+        progress = [e for e in events if e["event"] == "progress"]
+        assert [e["done"] for e in progress] == [1, 2, 3, 4]
+        assert all(e["total"] == 4 for e in progress)
+        assert list(executor.stream(warm_id)) == events
+
+
+class TestLifecycleConformance:
+    def test_event_sequences_identical_across_backends(self):
+        streams = {}
+        for name, factory in BACKENDS.items():
+            events = []
+            with factory() as executor:
+                run_job(executor,
+                        JobSpec(runner=echo_runner,
+                                points=bw_sweep([1.0, 2.0]).points()),
+                        on_event=events.append)
+            streams[name] = events
+        assert streams["inprocess"] == streams["localasync"]
+        kinds = [(e["event"], e.get("state")) for e in streams["inprocess"]]
+        assert kinds == [("state", "running"), ("progress", None),
+                         ("progress", None), ("state", "done")]
+
+    def test_poll_and_result_lifecycle(self, make_executor):
+        executor = make_executor()
+        job_id, status = run_job(executor, JobSpec(
+            runner=echo_runner, points=bw_sweep([1.0]).points()))
+        polled = executor.poll(job_id)
+        assert polled.to_dict() == status.to_dict()
+        assert list(polled.to_dict()) == \
+            ["job_id", "state", "done", "total", "error", "cache"]
+        assert (polled.done, polled.total) == (1, 1)
+        with pytest.raises(ExecutorError, match="unknown job"):
+            executor.poll("no-such-job")
+        with pytest.raises(ExecutorError, match="duplicate job id"):
+            executor.submit(JobSpec(runner=echo_runner,
+                                    points=bw_sweep([1.0]).points()),
+                            job_id=job_id)
+
+    def test_cancel_after_terminal_returns_false(self, make_executor):
+        executor = make_executor()
+        job_id, status = run_job(executor, JobSpec(
+            runner=echo_runner, points=bw_sweep([1.0]).points()))
+        assert status.state in TERMINAL_STATES
+        assert executor.cancel(job_id) is False
+
+    def test_on_error_raise_fails_the_job_not_the_executor(self,
+                                                           make_executor):
+        executor = make_executor()
+        job_id, status = run_job(executor, JobSpec(
+            runner=failing_runner, points=bw_sweep([1.0, 2.0]).points(),
+            on_error="raise"))
+        assert status.state == "failed"
+        assert "bandwidth 2.0 is cursed" in status.error
+        with pytest.raises(ExecutorError, match="failed"):
+            executor.result(job_id)
+        # The executor survives a failed job.
+        _, ok = run_job(executor, JobSpec(
+            runner=echo_runner, points=bw_sweep([1.0]).points()))
+        assert ok.state == "done"
+
+
+# ---------------------------------------------------------------------------
+# LocalAsync-only durability features
+# ---------------------------------------------------------------------------
+
+class TestLocalAsyncDurability:
+    def test_crashed_worker_is_respawned_and_variant_requeued(
+            self, tmp_path):
+        runner = functools.partial(crash_once_runner,
+                                   flag_dir=str(tmp_path))
+        with LocalAsyncExecutor(workers=2) as executor:
+            job_id, status = run_job(executor, JobSpec(
+                runner=runner, points=bw_sweep([1.0, 2.0, 4.0]).points()))
+            assert status.state == "done"
+            rows = executor.result(job_id)
+        assert [row["bw_out"] for row in rows] == [1.0, 2.0, 4.0]
+        assert not any("error" in row for row in rows)
+
+    def test_crash_budget_exhausted_becomes_error_row(self):
+        with LocalAsyncExecutor(workers=2,
+                                max_task_retries=1) as executor:
+            job_id, status = run_job(executor, JobSpec(
+                runner=always_crash_runner,
+                points=bw_sweep([1.0, 2.0]).points()))
+            assert status.state == "done"
+            rows = executor.result(job_id)
+        for row in rows:
+            assert row["error"] == ("WorkerCrashed: variant worker exited "
+                                    "with code 43 (after 2 attempts)")
+
+    def test_job_timeout_fails_job_but_executor_keeps_serving(self):
+        with LocalAsyncExecutor(workers=1) as executor:
+            _, status = run_job(executor, JobSpec(
+                runner=slow_runner, points=bw_sweep([1.0, 2.0]).points(),
+                timeout_s=0.1))
+            assert status.state == "failed"
+            assert status.error == \
+                "JobTimeout: job exceeded its 0.1s budget"
+            _, ok = run_job(executor, JobSpec(
+                runner=echo_runner, points=bw_sweep([1.0]).points()))
+            assert ok.state == "done"
+
+    def test_cancel_running_job(self):
+        with LocalAsyncExecutor(workers=1) as executor:
+            job_id = executor.submit(JobSpec(
+                runner=slow_runner,
+                points=bw_sweep([1.0, 2.0, 4.0, 8.0]).points()))
+            deadline = time.monotonic() + 30.0  # repro: noqa[PY002]
+            while executor.poll(job_id).state == "queued":
+                assert time.monotonic() < deadline  # repro: noqa[PY002]
+                time.sleep(0.01)  # repro: noqa[PY002]
+            assert executor.cancel(job_id) is True
+            status = executor.wait(job_id, timeout=30.0)
+            assert status.state == "cancelled"
+            assert executor.cancel(job_id) is False
+            with pytest.raises(ExecutorError, match="cancelled"):
+                executor.result(job_id)
+
+    def test_cancel_queued_job_never_runs(self):
+        with LocalAsyncExecutor(workers=1) as executor:
+            blocker = executor.submit(JobSpec(
+                runner=slow_runner, points=bw_sweep([1.0, 2.0]).points()))
+            queued = executor.submit(JobSpec(
+                runner=echo_runner, points=bw_sweep([4.0]).points()))
+            assert executor.cancel(queued) is True
+            assert executor.wait(queued, timeout=60.0).state == "cancelled"
+            assert executor.wait(blocker, timeout=60.0).state == "done"

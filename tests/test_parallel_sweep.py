@@ -30,6 +30,7 @@ from repro.parallel import (
     SweepVariantError,
     code_version,
     default_workload_id,
+    error_message,
     execute_variant,
     result_key,
 )
@@ -186,10 +187,30 @@ class TestErrorCapture:
         machine = generic_multicomputer("mesh", (2, 2))
         assert execute_variant(echo_runner, machine) == \
             ("ok", {"bw_out": machine.network.link_bandwidth})
-        status, message = execute_variant(
+        status, payload = execute_variant(
             lambda m: 1 / 0, machine)
         assert status == "error"
-        assert message.startswith("ZeroDivisionError")
+        assert error_message(payload).startswith("ZeroDivisionError")
+        # The formatted remote traceback rides along for debuggability.
+        assert "ZeroDivisionError" in payload["traceback"]
+        assert "execute_variant" in payload["traceback"]
+
+    @pytest.mark.parametrize("workers", [None, 2], ids=["serial", "parallel"])
+    def test_error_rows_carry_remote_traceback(self, workers):
+        """Regression: error rows used to carry only ``repr(exc)``; the
+        formatted traceback from the (possibly remote) worker must ride
+        along so failed rows are debuggable from a service job record."""
+        rows = bw_sweep([1.0, 2.0]).run(failing_runner, workers=workers)
+        bad = [r for r in rows if "error" in r]
+        assert len(bad) == 1
+        tb = bad[0]["traceback"]
+        assert "ValueError: bandwidth 2.0 is cursed" in tb
+        assert "failing_runner" in tb
+
+    def test_remote_traceback_identical_serial_vs_parallel(self):
+        serial = bw_sweep([1.0, 2.0]).run(failing_runner, workers=1)
+        parallel = bw_sweep([1.0, 2.0]).run(failing_runner, workers=2)
+        assert serial == parallel
 
     @pytest.mark.parametrize("workers", [None, 2], ids=["serial", "parallel"])
     def test_delivery_failed_row_keeps_metric_columns(self, workers):
@@ -326,6 +347,24 @@ class TestProgressAndTiming:
             progress=lambda done, total, row: seen.append(done))
         assert seen == [1, 2]
         assert cache.stats.hits == 2
+
+    def test_progress_reaches_total_on_mixed_warm_cache(self, tmp_path):
+        """Regression for streamed job progress: rows served straight
+        from the cache (never entering the pool) must still fire
+        ``progress``, and a partially-warm sweep must count through to
+        100% — hits first, then executed variants, no gaps."""
+        cache = ResultCache(str(tmp_path))
+        bw_sweep([1.0, 4.0]).run(echo_runner, cache=cache)
+        seen = []
+        rows = bw_sweep([1.0, 2.0, 4.0]).run(
+            echo_runner, cache=cache,
+            progress=lambda done, total, row: seen.append((done, total,
+                                                           row["bw"])))
+        # Cache hits (bw 1.0, 4.0) stream first, then the one miss.
+        assert seen == [(1, 3, 1.0), (2, 3, 4.0), (3, 3, 2.0)]
+        assert [r["bw"] for r in rows] == [1.0, 2.0, 4.0]
+        # Stats span both runs: 2 warm-up misses, then 2 hits + 1 miss.
+        assert cache.stats.hits == 2 and cache.stats.misses == 3
 
     def test_timing_adds_wall_time_column(self):
         rows = bw_sweep([1.0, 2.0]).run(echo_runner, timing=True)

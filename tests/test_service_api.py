@@ -1,0 +1,431 @@
+"""Service API (repro.service): job records, HTTP surface, CLI.
+
+Three layers, bottom-up:
+
+* **JobManager** — golden snapshots of the deterministic job records
+  across the whole lifecycle (``submitted → running → done / failed /
+  cancelled``): fixed field order, no wall-clock fields, digests
+  normalized out (they incorporate the code version by design);
+* **HTTP server** — the asyncio server + ``ServiceClient`` round
+  trip: rows fetched over HTTP must be byte-identical to an
+  in-process ``Sweep.run`` with the CLI's runner, plus the error
+  statuses (400/404/405/409/429) and the NDJSON event stream;
+* **CLI** — ``repro serve`` (subprocess, ephemeral port) driven by
+  ``repro submit / status / fetch``: exit codes and output schemas.
+
+Every assertion here is wall-clock-free: records never contain
+timestamps, and the tiny sweeps are deterministic.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import copy
+import json
+import os
+import subprocess
+import sys
+import threading
+from functools import partial
+from pathlib import Path
+
+import pytest
+
+from repro import InProcessExecutor, Sweep
+from repro.cli import _AxisSetter, _sweep_point_runner, build_machine
+from repro.faults import FaultPlan, LinkFault, TransportConfig
+from repro.service import (
+    JobManager,
+    JobScheduler,
+    ResultStore,
+    ServiceClient,
+    ServiceError,
+    ServiceServer,
+    canonical_request,
+    job_key,
+)
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+PRESET = "t805-grid-2x2"
+AXIS = "network.link_bandwidth"
+BW_VALUES = [2_000_000.0, 4_000_000.0]
+
+SWEEP_REQUEST = {"kind": "sweep", "preset": PRESET, "rounds": 1,
+                 "axes": [f"{AXIS}=2000000,4000000"]}
+
+CHAOS_SPEC = {
+    "name": "service-demo",
+    "base": FaultPlan(
+        seed=7, link_faults=[LinkFault(drop_prob=0.02)],
+        transport=TransportConfig(timeout_cycles=50_000.0,
+                                  backoff_factor=1.0,
+                                  max_retries=60)).to_dict(),
+    "generators": [{"kind": "severity_ladder", "name": "sev",
+                    "factors": [0, 1]}],
+    "slos": [{"kind": "availability", "min_fraction": 1.0}],
+}
+CHAOS_REQUEST = {"kind": "chaos", "preset": PRESET, "app": "pingpong",
+                 "campaign": CHAOS_SPEC, "size": 64, "repeats": 1}
+
+
+def expected_sweep_rows() -> list[dict]:
+    """What the service must return: the CLI runner through a plain
+    serial ``Sweep.run`` — the independent in-process reference."""
+    sweep = Sweep(build_machine(PRESET), label=PRESET)
+    sweep.axis(AXIS, _AxisSetter(AXIS), BW_VALUES)
+    runner = partial(_sweep_point_runner, workload=None, rounds=1, seed=0)
+    return sweep.run(runner,
+                     workload_id="cli-stochastic:generic:rounds=1:seed=0")
+
+
+def check_golden(name: str, value) -> None:
+    path = GOLDEN_DIR / f"{name}.json"
+    if os.environ.get("REPRO_REGEN_GOLDEN") or not path.exists():
+        path.write_text(json.dumps(value, indent=2, sort_keys=True) + "\n")
+        pytest.skip(f"golden snapshot {name} (re)generated")
+    golden = json.loads(path.read_text())
+    assert value == golden, (
+        f"{name}: service records diverged from the golden snapshot; if "
+        f"the change is intentional, regenerate with REPRO_REGEN_GOLDEN=1")
+
+
+def normalize(record: dict) -> dict:
+    """Replace run-scoped digests; everything else must be stable."""
+    out = copy.deepcopy(record)
+    assert out["id"].startswith(out["key"][:12])
+    out["id"] = "<id>"
+    out["key"] = "<key>"
+    return out
+
+
+def event_shapes(events: list[dict]) -> list:
+    """Events minus the row payloads (rows are pinned separately)."""
+    shapes = []
+    for event in events:
+        if event["event"] == "state":
+            shapes.append([event["state"], event.get("error")])
+        else:
+            shapes.append(["progress", event["done"], event["total"]])
+    return shapes
+
+
+@pytest.fixture
+def manager():
+    managers = []
+
+    def make(**kwargs):
+        kwargs.setdefault("executor", InProcessExecutor(workers=2))
+        mgr = JobManager(**kwargs)
+        managers.append(mgr)
+        return mgr
+
+    yield make
+    for mgr in managers:
+        mgr.close()
+
+
+# ---------------------------------------------------------------------------
+# Request canonicalization + identity
+# ---------------------------------------------------------------------------
+
+class TestRequests:
+    def test_canonical_fills_defaults_deterministically(self):
+        canon = canonical_request(SWEEP_REQUEST)
+        assert canon == canonical_request(dict(reversed(
+            list(SWEEP_REQUEST.items()))))
+        assert canon["tenant"] == "default" and canon["lane"] == "normal"
+        assert canon["rounds"] == 1 and canon["seed"] == 0
+        assert list(canon) == sorted(canon)
+
+    @pytest.mark.parametrize("bad,match", [
+        ({"kind": "dream"}, "unknown job kind"),
+        ({"kind": "sweep", "preset": PRESET, "axes": ["x=1"],
+          "frobnicate": True}, "unknown request fields"),
+        ({"kind": "sweep", "preset": PRESET}, "missing required"),
+        ("not a dict", "JSON object"),
+    ])
+    def test_malformed_requests_are_400(self, bad, match):
+        with pytest.raises(ServiceError, match=match) as info:
+            canonical_request(bad)
+        assert info.value.status == 400
+
+    def test_job_key_is_content_addressed(self):
+        canon = canonical_request(SWEEP_REQUEST)
+        assert job_key(canon) == job_key(json.loads(json.dumps(canon)))
+        other = dict(canon, seed=1)
+        assert job_key(other) != job_key(canon)
+
+    def test_deep_validation_happens_at_submit(self, manager):
+        mgr = manager(autostart=False)
+        with pytest.raises(ServiceError, match="bad sweep request") as info:
+            mgr.submit({"kind": "sweep", "preset": PRESET,
+                        "axes": ["network.warp_speed=1,2"]})
+        assert info.value.status == 400
+
+
+# ---------------------------------------------------------------------------
+# Job lifecycle: golden records
+# ---------------------------------------------------------------------------
+
+class TestLifecycleGolden:
+    def test_lifecycle_records_match_golden(self, manager):
+        snapshots = {}
+
+        # -- done ------------------------------------------------------
+        mgr = manager()
+        record = mgr.submit(SWEEP_REQUEST)
+        assert record.wait(timeout=120.0) == "done"
+        assert record.rows == expected_sweep_rows()
+        snapshots["done"] = {
+            "record": normalize(record.to_dict()),
+            "events": event_shapes(record.events),
+            "result_keys": list(record.result_payload()),
+        }
+
+        # -- failed (job budget exhausted before the first row) --------
+        failed = mgr.submit(dict(SWEEP_REQUEST, timeout_s=1e-9))
+        assert failed.wait(timeout=120.0) == "failed"
+        snapshots["failed"] = {
+            "record": normalize(failed.to_dict()),
+            "events": event_shapes(failed.events),
+        }
+
+        # -- cancelled (before dispatch ever sees it) ------------------
+        cold = manager(autostart=False)
+        doomed = cold.submit(SWEEP_REQUEST)
+        assert cold.cancel(doomed.job_id) is True
+        assert cold.cancel(doomed.job_id) is False
+        snapshots["cancelled"] = {
+            "record": normalize(doomed.to_dict()),
+            "events": event_shapes(doomed.events),
+        }
+        check_golden("service_job_lifecycle", snapshots)
+
+    def test_record_field_order_is_fixed(self, manager):
+        mgr = manager(autostart=False)
+        record = mgr.submit(SWEEP_REQUEST)
+        assert list(record.to_dict()) == [
+            "id", "key", "kind", "tenant", "lane", "state", "done",
+            "total", "error", "cache", "request"]
+        assert not any("time" in k or "wall" in k
+                       for k in record.to_dict())
+
+    def test_cancel_preserves_other_jobs_rows(self, manager):
+        mgr = manager(autostart=False)
+        job_a = mgr.submit(SWEEP_REQUEST)
+        job_b = mgr.submit(dict(SWEEP_REQUEST, seed=1))
+        job_c = mgr.submit(dict(SWEEP_REQUEST, seed=2))
+        assert mgr.cancel(job_b.job_id) is True
+        mgr.start()
+        assert job_a.wait(timeout=120.0) == "done"
+        assert job_c.wait(timeout=120.0) == "done"
+        assert job_b.state == "cancelled" and job_b.rows is None
+        assert job_a.rows == expected_sweep_rows()
+        assert len(job_c.rows) == 2
+        assert not any("error" in row for row in job_c.rows)
+
+    def test_store_content_addresses_records(self, manager, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        mgr = manager(store=store)
+        first = mgr.submit(SWEEP_REQUEST)
+        assert first.wait(timeout=120.0) == "done"
+        assert first.cache == {"hits": 0, "misses": 2, "stores": 2}
+        again = mgr.submit(SWEEP_REQUEST)
+        assert again.wait(timeout=120.0) == "done"
+        assert again.cache == {"hits": 2, "misses": 0, "stores": 0}
+        assert again.key == first.key and again.job_id != first.job_id
+        assert store.job_count() == 1   # same key -> same record path
+        stored = store.get_job(first.key)
+        assert stored["result"]["rows"] == expected_sweep_rows()
+
+
+# ---------------------------------------------------------------------------
+# HTTP surface
+# ---------------------------------------------------------------------------
+
+@pytest.fixture
+def http_service(manager, tmp_path):
+    services = []
+
+    def make(**manager_kwargs):
+        manager_kwargs.setdefault("store", ResultStore(
+            tmp_path / f"store{len(services)}"))
+        mgr = manager(**manager_kwargs)
+        server = ServiceServer(mgr)
+        loop = asyncio.new_event_loop()
+        thread = threading.Thread(target=loop.run_forever, daemon=True)
+        thread.start()
+        asyncio.run_coroutine_threadsafe(server.start(), loop).result(30)
+        services.append((server, loop, thread))
+        return mgr, ServiceClient(server.url)
+
+    yield make
+    for server, loop, thread in services:
+        asyncio.run_coroutine_threadsafe(server.stop(), loop).result(30)
+        loop.call_soon_threadsafe(loop.stop)
+        thread.join(timeout=30)
+
+
+class TestHTTP:
+    def test_sweep_rows_over_http_byte_identical_to_in_process(
+            self, http_service):
+        mgr, client = http_service()
+        assert client.health() == {"ok": True}
+        record = client.submit(SWEEP_REQUEST)
+        record = client.wait(record["id"], poll_s=0.05, timeout=120.0)
+        assert record["state"] == "done"
+        result = client.result(record["id"])
+        direct = expected_sweep_rows()
+        assert json.dumps(result["rows"], sort_keys=True) == \
+            json.dumps(direct, sort_keys=True)
+        # Warm re-submission: same key, all cache hits.
+        warm = client.submit(SWEEP_REQUEST)
+        warm = client.wait(warm["id"], poll_s=0.05, timeout=120.0)
+        assert warm["key"] == record["key"]
+        assert warm["cache"] == {"hits": 2, "misses": 0, "stores": 0}
+
+    def test_chaos_job_over_http(self, http_service):
+        mgr, client = http_service()
+        record = client.submit(CHAOS_REQUEST)
+        # baseline rung + severity ladder factors [0, 1]
+        assert record["total"] == 3
+        record = client.wait(record["id"], poll_s=0.05, timeout=300.0)
+        assert record["state"] == "done"
+        campaign = client.result(record["id"])["campaign"]
+        assert campaign["campaign"] == "service-demo"
+        assert campaign["rungs"] == 3
+        assert len(campaign["rows"]) == 3
+        assert isinstance(campaign["ok"], bool)
+
+    def test_event_stream_and_stable_field_order(self, http_service):
+        mgr, client = http_service()
+        record = client.submit(SWEEP_REQUEST)
+        events = list(client.events(record["id"]))
+        assert event_shapes(events) == [
+            ["submitted", None], ["running", None],
+            ["progress", 1, 2], ["progress", 2, 2], ["done", None]]
+        status = client.status(record["id"])
+        # The server serializes sort_keys=True; json.loads preserves
+        # document order, so a sorted listing pins the byte layout.
+        assert list(status) == sorted(status)
+        assert set(status) == {
+            "id", "key", "kind", "tenant", "lane", "state", "done",
+            "total", "error", "cache", "request"}
+
+    def test_http_error_statuses(self, http_service):
+        mgr, client = http_service(autostart=False,
+                                   scheduler=JobScheduler(tenant_quota=1))
+        with pytest.raises(ServiceError) as info:
+            client.status("nope")
+        assert info.value.status == 404
+        with pytest.raises(ServiceError) as info:
+            client.submit({"kind": "dream"})
+        assert info.value.status == 400
+        record = client.submit(SWEEP_REQUEST)
+        with pytest.raises(ServiceError) as info:    # quota: 1 active job
+            client.submit(dict(SWEEP_REQUEST, seed=1))
+        assert info.value.status == 429
+        with pytest.raises(ServiceError) as info:    # still queued
+            client.result(record["id"])
+        assert info.value.status == 409
+        assert client.cancel(record["id"]) is True
+        assert client.cancel(record["id"]) is False
+
+    def test_method_and_path_errors(self, http_service):
+        import http.client
+        mgr, client = http_service()
+        conn = http.client.HTTPConnection(client.host, client.port,
+                                          timeout=30)
+        try:
+            conn.request("DELETE", "/v1/jobs")
+            assert conn.getresponse().status == 405
+        finally:
+            conn.close()
+        with pytest.raises(ServiceError) as info:
+            client._request("GET", "/v2/jobs")
+        assert info.value.status == 404
+
+    def test_metrics_endpoint(self, http_service):
+        mgr, client = http_service()
+        record = client.submit(SWEEP_REQUEST)
+        client.wait(record["id"], poll_s=0.05, timeout=120.0)
+        metrics = client.metrics()
+        assert metrics["service.jobs.submitted.count"] == 1
+        assert metrics["service.jobs.completed.count"] == 1
+        assert metrics["service.jobs.failed.count"] == 0
+        assert "service.records.total" in metrics
+
+
+# ---------------------------------------------------------------------------
+# CLI: repro serve / submit / status / fetch
+# ---------------------------------------------------------------------------
+
+@pytest.fixture(scope="class")
+def cli_server(tmp_path_factory):
+    store = tmp_path_factory.mktemp("service-store")
+    src = str(Path(__file__).parent.parent / "src")
+    env = dict(os.environ, PYTHONPATH=src)
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0",
+         "--executor", "inprocess", "--store", str(store)],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+        env=env, text=True)
+    try:
+        line = proc.stdout.readline()
+        assert "repro service listening on " in line, line
+        url = line.strip().rsplit(" ", 1)[-1]
+        yield url
+    finally:
+        proc.terminate()
+        proc.wait(timeout=30)
+
+
+SUBMIT_ARGS = ["submit", "sweep", PRESET,
+               "--axis", f"{AXIS}=2000000,4000000", "--rounds", "1"]
+
+
+@pytest.mark.usefixtures("cli_server")
+class TestCLI:
+    def test_submit_status_fetch_roundtrip(self, cli_server, capsys):
+        from repro.cli import main
+        rc = main(SUBMIT_ARGS + ["--server", cli_server, "--wait",
+                                 "--poll", "0.05"])
+        record = json.loads(capsys.readouterr().out)
+        assert rc == 0 and record["state"] == "done"
+
+        assert main(["status", record["id"], "--server", cli_server]) == 0
+        status = json.loads(capsys.readouterr().out)
+        assert status["state"] == "done"
+        assert status["cache"]["misses"] + status["cache"]["hits"] == 2
+
+        assert main(["fetch", record["id"], "--server", cli_server]) == 0
+        fetched = capsys.readouterr().out
+        expected = json.dumps(expected_sweep_rows(), indent=2,
+                              sort_keys=True) + "\n"
+        assert fetched == expected   # byte-identical: the CI smoke cmp
+
+    def test_failed_job_exit_codes(self, cli_server, capsys):
+        from repro.cli import main
+        rc = main(SUBMIT_ARGS + ["--server", cli_server, "--timeout",
+                                 "1e-9", "--wait", "--poll", "0.05"])
+        record = json.loads(capsys.readouterr().out)
+        assert rc == 1 and record["state"] == "failed"
+        assert main(["status", record["id"],
+                     "--server", cli_server]) == 1
+        capsys.readouterr()
+
+    def test_unknown_job_is_a_service_error(self, cli_server):
+        from repro.cli import main
+        with pytest.raises(SystemExit,
+                           match=r"service error \(404\)"):
+            main(["status", "nope", "--server", cli_server])
+        with pytest.raises(SystemExit,
+                           match=r"service error \(404\)"):
+            main(["fetch", "nope", "--server", cli_server])
+
+    def test_unreachable_server(self):
+        from repro.cli import main
+        with pytest.raises(SystemExit, match="cannot reach"):
+            main(["status", "job", "--server",
+                  "http://127.0.0.1:9"])  # discard port: nothing listens
